@@ -1,0 +1,52 @@
+// Ablation: the parameter-fitting procedure of Sec. 3.
+//
+// Sweeps the calibration target (the experimental continuous-load lifetime)
+// and reports the fitted flow constant k, plus the resulting 1 Hz
+// square-wave lifetime -- showing how sensitive the model is to the single
+// calibration measurement, and that the square-wave prediction saturates as
+// k grows (all bound charge becomes usable).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "kibamrm/battery/calibration.hpp"
+#include "kibamrm/battery/kibam.hpp"
+#include "kibamrm/battery/lifetime.hpp"
+#include "kibamrm/common/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kibamrm;
+  common::CliArgs args(argc, argv);
+  args.declare("csv").declare("full");
+  args.validate();
+
+  std::cout << "=== Ablation: KiBaM calibration sensitivity (Sec. 3) ===\n"
+            << "C = 7200 As, c = 0.625, continuous load 0.96 A\n\n";
+
+  io::Table table({"target cont. lifetime (min)", "fitted k (1/s)",
+                   "1 Hz square-wave lifetime (min)",
+                   "0.2 Hz square-wave lifetime (min)"});
+  for (double target_min : {80.0, 85.0, 90.0, 95.0, 100.0, 110.0, 120.0}) {
+    const double k = battery::calibrate_flow_constant(
+        7200.0, 0.625, 0.96, units::minutes_to_seconds(target_min));
+    battery::KibamBattery b1(battery::KibamParameters{7200.0, 0.625, k});
+    const double life_1hz = units::seconds_to_minutes(
+        *compute_lifetime(b1, battery::LoadProfile::square_wave(1.0, 0.96),
+                          {.max_time = 1e8}));
+    battery::KibamBattery b2(battery::KibamParameters{7200.0, 0.625, k});
+    const double life_02hz = units::seconds_to_minutes(
+        *compute_lifetime(b2, battery::LoadProfile::square_wave(0.2, 0.96),
+                          {.max_time = 1e8}));
+    table.add_row({io::format_double(target_min, 0),
+                   io::format_double(k, 8),
+                   io::format_double(life_1hz, 1),
+                   io::format_double(life_02hz, 1)});
+  }
+  bench::emit(table, args, "calibration.csv");
+
+  std::cout << "Notes: k grows superlinearly with the target (recovery must "
+               "supply ever more bound charge within the shrinking "
+               "lifetime); the two square-wave columns stay equal at every "
+               "k -- the analytic KiBaM cannot produce the frequency "
+               "dependence seen experimentally (Table 1's point).\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared helpers for the bench binaries: option handling and curve printing.
+//
+// Every bench accepts:
+//   --csv <path>   also write the printed series as CSV
+//   --full         run the expensive full-resolution configurations
+//   --points N     number of curve points (where applicable)
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "kibamrm/common/cli.hpp"
+#include "kibamrm/core/lifetime_distribution.hpp"
+#include "kibamrm/io/table.hpp"
+
+namespace kibamrm::bench {
+
+/// Prints one table and optionally mirrors it to CSV.
+inline void emit(const io::Table& table, const common::CliArgs& args,
+                 const std::string& default_csv_name) {
+  table.print(std::cout);
+  std::cout << '\n';
+  if (args.has("csv")) {
+    const std::string path = args.get("csv", default_csv_name);
+    table.write_csv_file(path);
+    std::cout << "[csv written to " << path << "]\n\n";
+  }
+}
+
+/// Builds a table with a time column and one labelled probability column
+/// per curve (all curves share the time grid).
+inline io::Table curves_table(const std::string& time_header,
+                              const std::vector<double>& times,
+                              const std::vector<std::string>& labels,
+                              const std::vector<core::LifetimeCurve>& curves) {
+  std::vector<std::string> headers = {time_header};
+  headers.insert(headers.end(), labels.begin(), labels.end());
+  io::Table table(headers);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    std::vector<double> row = {times[i]};
+    for (const auto& curve : curves) row.push_back(curve.probabilities()[i]);
+    table.add_numeric_row(row, 4);
+  }
+  return table;
+}
+
+}  // namespace kibamrm::bench

@@ -1,0 +1,78 @@
+// Reproduces Figure 7: battery lifetime distribution for the on/off model
+// with the degenerate battery (all charge available): f = 1 Hz, K = 1,
+// C = 7200 As, c = 1, k = 0, I = 0.96 A.
+//
+// Series: Markovian approximation for Delta in {100, 50, 25, 5} and a
+// 1000-run simulation, exactly the paper's set.  Also prints the expanded
+// state counts and uniformisation iteration counts quoted in Sec. 6.1
+// (2882 states and >36000 iterations for t = 17000 at Delta = 5).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "kibamrm/core/approx_solver.hpp"
+#include "kibamrm/core/exact_c1.hpp"
+#include "kibamrm/core/simulator.hpp"
+#include "kibamrm/workload/onoff_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kibamrm;
+  common::CliArgs args(argc, argv);
+  args.declare("csv").declare("full").declare("points").declare("delta")
+      .declare("runs");
+  args.validate();
+
+  std::cout << "=== Figure 7: on/off lifetime CDF (C = 7200 As, c = 1, "
+               "k = 0) ===\n\n";
+
+  const core::KibamRmModel model(
+      workload::make_onoff_model({.frequency = 1.0, .erlang_k = 1,
+                                  .on_current = 0.96}),
+      {.capacity = 7200.0, .available_fraction = 1.0, .flow_constant = 0.0});
+
+  const auto times = core::uniform_grid(
+      6000.0, 20000.0,
+      static_cast<std::size_t>(args.get_int("points", 57)));
+
+  const std::vector<double> deltas =
+      args.get_double_list("delta", {100.0, 50.0, 25.0, 5.0});
+
+  std::vector<std::string> labels;
+  std::vector<core::LifetimeCurve> curves;
+  for (double delta : deltas) {
+    core::MarkovianApproximation solver(model, {.delta = delta});
+    curves.push_back(solver.solve(times));
+    labels.push_back("Delta=" + io::format_double(delta, 0));
+    const auto& stats = solver.last_stats();
+    std::cout << "Delta = " << delta << ": " << stats.expanded_states
+              << " states, " << stats.generator_nonzeros << " nonzeros, "
+              << stats.uniformization_iterations
+              << " uniformisation iterations (q = "
+              << io::format_double(stats.uniformization_rate, 3) << ")\n";
+  }
+  std::cout << "Paper quotes for Delta = 5: 2882 states, >3.2e6 nonzeros "
+               "(two-well variant), >36000 iterations at t = 17000.\n\n";
+
+  core::MonteCarloSimulator sim(model,
+                                {.replications = static_cast<std::size_t>(
+                                     args.get_int("runs", 1000))});
+  curves.push_back(sim.empty_probability_curve(times));
+  labels.push_back("Simulation");
+
+  // Bonus series the paper could not show: the exact distribution.
+  curves.push_back(core::ExactC1Solver(model).solve(times));
+  labels.push_back("Exact");
+
+  bench::emit(bench::curves_table("t (s)", times, labels, curves), args,
+              "fig7.csv");
+
+  std::cout << "Shape checks vs Fig. 7: all curves rise from 0 to 1 around "
+               "t ~ 15000 s; the simulation (and exact) curve is nearly a "
+               "step -- the lifetime is almost deterministic; smaller Delta "
+               "moves the approximation toward it but convergence is slow "
+               "(the paper's phase-type-approximation caveat).\n";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::cout << "  median[" << labels[i] << "] = "
+              << io::format_double(curves[i].median(), 0) << " s\n";
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Figure 8: battery lifetime distribution for the on/off model
+// with the full KiBaM battery: f = 1 Hz, K = 1, C = 7200 As, c = 0.625,
+// k = 4.5e-5/s, I = 0.96 A.
+//
+// The paper plots Delta in {100, 50, 25, 10, 5} plus a simulation.  The
+// Delta = 10 and Delta = 5 chains have ~2.4e5 / ~9.7e5 states and dominate
+// the run time, so they are gated behind --full (the default set still
+// shows the convergence direction).
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "kibamrm/core/approx_solver.hpp"
+#include "kibamrm/core/simulator.hpp"
+#include "kibamrm/workload/onoff_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kibamrm;
+  common::CliArgs args(argc, argv);
+  args.declare("csv").declare("full").declare("points").declare("delta")
+      .declare("runs");
+  args.validate();
+
+  std::cout << "=== Figure 8: on/off lifetime CDF (C = 7200 As, c = 0.625, "
+               "k = 4.5e-5/s) ===\n"
+            << (args.has("full")
+                    ? ""
+                    : "(default resolution; pass --full for the paper's "
+                      "Delta = 10 and 5)\n")
+            << '\n';
+
+  const core::KibamRmModel model(
+      workload::make_onoff_model({.frequency = 1.0, .erlang_k = 1,
+                                  .on_current = 0.96}),
+      {.capacity = 7200.0, .available_fraction = 0.625,
+       .flow_constant = 4.5e-5});
+
+  const auto times = core::uniform_grid(
+      6000.0, 20000.0,
+      static_cast<std::size_t>(args.get_int("points", 57)));
+
+  const std::vector<double> default_deltas =
+      args.has("full") ? std::vector<double>{100.0, 50.0, 25.0, 10.0, 5.0}
+                       : std::vector<double>{100.0, 50.0, 25.0};
+  const std::vector<double> deltas =
+      args.get_double_list("delta", default_deltas);
+
+  std::vector<std::string> labels;
+  std::vector<core::LifetimeCurve> curves;
+  for (double delta : deltas) {
+    const auto start = std::chrono::steady_clock::now();
+    core::MarkovianApproximation solver(model, {.delta = delta});
+    curves.push_back(solver.solve(times));
+    const auto seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    labels.push_back("Delta=" + io::format_double(delta, 0));
+    const auto& stats = solver.last_stats();
+    std::cout << "Delta = " << delta << ": " << stats.expanded_states
+              << " states, " << stats.generator_nonzeros << " nonzeros, "
+              << stats.uniformization_iterations << " iterations, "
+              << io::format_double(seconds, 1) << " s wall clock\n";
+  }
+  std::cout << "Paper quotes for Delta = 5: ~3.2e6 nonzeros; >2.3e4 "
+               "iterations for t = 10000, >4.6e4 for t = 20000.\n\n";
+
+  core::MonteCarloSimulator sim(model,
+                                {.replications = static_cast<std::size_t>(
+                                     args.get_int("runs", 1000))});
+  curves.push_back(sim.empty_probability_curve(times));
+  labels.push_back("Simulation");
+
+  bench::emit(bench::curves_table("t (s)", times, labels, curves), args,
+              "fig8.csv");
+
+  std::cout << "Shape checks vs Fig. 8: the approximation curves lie left "
+               "of (above) the simulation and move right as Delta shrinks, "
+               "but remain visibly apart even at Delta = 5 -- the paper's "
+               "\"quite far away\" observation.\n";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::cout << "  median[" << labels[i] << "] = "
+              << io::format_double(curves[i].median(), 0) << " s\n";
+  }
+  return 0;
+}

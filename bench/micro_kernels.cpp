@@ -1,0 +1,132 @@
+// Google-benchmark micro kernels for the numerical substrate: the CSR
+// left-multiply (uniformisation's inner loop), Fox-Glynn window
+// construction, the dense complex matrix exponential (the exact solver's
+// inner call), a full uniformisation transient solve, and expanded-chain
+// construction.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "kibamrm/core/expanded_ctmc.hpp"
+#include "kibamrm/core/exact_c1.hpp"
+#include "kibamrm/linalg/csr_matrix.hpp"
+#include "kibamrm/linalg/expm.hpp"
+#include "kibamrm/markov/fox_glynn.hpp"
+#include "kibamrm/markov/uniformization.hpp"
+#include "kibamrm/workload/onoff_model.hpp"
+#include "kibamrm/workload/simple_model.hpp"
+
+namespace {
+
+using namespace kibamrm;
+
+linalg::CsrMatrix banded_stochastic(std::size_t n) {
+  // Tridiagonal-ish stochastic matrix resembling a uniformised expanded
+  // battery chain.
+  linalg::CooBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    if (i > 0) {
+      builder.add(i, i - 1, 0.3);
+      off += 0.3;
+    }
+    if (i + 1 < n) {
+      builder.add(i, i + 1, 0.2);
+      off += 0.2;
+    }
+    builder.add(i, i, 1.0 - off);
+  }
+  return builder.build();
+}
+
+void BM_CsrLeftMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::CsrMatrix p = banded_stochastic(n);
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    p.left_multiply(pi, out);
+    pi.swap(out);
+    benchmark::DoNotOptimize(pi.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.nonzeros()));
+}
+BENCHMARK(BM_CsrLeftMultiply)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_FoxGlynnWindow(benchmark::State& state) {
+  const double lambda = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const auto window = markov::fox_glynn(lambda, 1e-10);
+    benchmark::DoNotOptimize(window.weights.data());
+  }
+}
+BENCHMARK(BM_FoxGlynnWindow)->Arg(10)->Arg(1000)->Arg(46000);
+
+void BM_ComplexExpm3x3(benchmark::State& state) {
+  // The exact solver's inner call: exp(t (Q - s R)) for the simple model.
+  linalg::DenseComplex m(3, 3);
+  const std::complex<double> s(0.01, 0.4);
+  const double t = 20.0;
+  const double q[3][3] = {{-3.0, 2.0, 1.0}, {6.0, -6.0, 0.0}, {2.0, 0.0, -2.0}};
+  const double r[3] = {8.0, 200.0, 0.0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      m(i, j) = std::complex<double>(q[i][j] * t, 0.0);
+      if (i == j) m(i, j) -= s * r[i] * t;
+    }
+  }
+  for (auto _ : state) {
+    const auto e = linalg::expm(m);
+    benchmark::DoNotOptimize(&e);
+  }
+}
+BENCHMARK(BM_ComplexExpm3x3);
+
+void BM_ExactC1CurvePoint(benchmark::State& state) {
+  const core::KibamRmModel model(workload::make_simple_model(),
+                                 {.capacity = 800.0,
+                                  .available_fraction = 1.0,
+                                  .flow_constant = 0.0});
+  const core::ExactC1Solver solver(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.empty_probability(20.0));
+  }
+}
+BENCHMARK(BM_ExactC1CurvePoint);
+
+void BM_BuildExpandedChain(benchmark::State& state) {
+  const double delta = static_cast<double>(state.range(0));
+  const core::KibamRmModel model(
+      workload::make_onoff_model({.frequency = 1.0, .erlang_k = 1,
+                                  .on_current = 0.96}),
+      {.capacity = 7200.0, .available_fraction = 0.625,
+       .flow_constant = 4.5e-5});
+  for (auto _ : state) {
+    const auto expanded = core::build_expanded_chain(model, delta);
+    benchmark::DoNotOptimize(&expanded);
+    state.counters["states"] =
+        static_cast<double>(expanded.grid.state_count());
+    state.counters["nnz"] =
+        static_cast<double>(expanded.chain.generator().nonzeros());
+  }
+}
+BENCHMARK(BM_BuildExpandedChain)->Arg(100)->Arg(25)->Arg(10);
+
+void BM_TransientSolve(benchmark::State& state) {
+  // End-to-end uniformisation on the Delta = 25 single-well chain.
+  const core::KibamRmModel model(
+      workload::make_onoff_model({.frequency = 1.0, .erlang_k = 1,
+                                  .on_current = 0.96}),
+      {.capacity = 7200.0, .available_fraction = 1.0, .flow_constant = 0.0});
+  const auto expanded = core::build_expanded_chain(model, 25.0);
+  for (auto _ : state) {
+    markov::TransientSolver solver(expanded.chain);
+    const auto result = solver.solve(expanded.initial, {15000.0});
+    benchmark::DoNotOptimize(result.front().data());
+  }
+}
+BENCHMARK(BM_TransientSolve);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Charge-adaptive throttling: the reward-inhomogeneous generality of
+// Sec. 4.1 (and the paper's "more realistic MRMs" future-work direction)
+// put to use.
+//
+// The device runs the simple idle/send/sleep workload, but once the
+// available charge drops below a threshold it throttles the send arrival
+// rate (sync less often on a low battery -- what real phones do).  The
+// Markovian approximation handles the charge-dependent generator Q(y1, y2)
+// natively: workload rates are simply evaluated per charge level when the
+// expanded chain is built.  The Monte-Carlo simulator cross-checks via
+// thinning.
+#include <iostream>
+
+#include "kibamrm/common/units.hpp"
+#include "kibamrm/core/approx_solver.hpp"
+#include "kibamrm/core/simulator.hpp"
+#include "kibamrm/io/table.hpp"
+#include "kibamrm/workload/simple_model.hpp"
+
+int main() {
+  using namespace kibamrm;
+
+  const battery::KibamParameters cell{
+      800.0, 0.625, units::per_second_to_per_hour(4.5e-5)};
+  const auto send = static_cast<std::size_t>(workload::SimpleState::kSend);
+  const auto times = core::uniform_grid(2.0, 48.0, 93);
+
+  std::cout << "Adaptive send throttling on a low battery\n"
+            << "(threshold = available charge below 150 mAh; send arrivals "
+               "scaled by the throttle factor there)\n\n";
+
+  io::Table table({"throttle factor", "median life (h)", "5% quantile (h)",
+                   "95% quantile (h)", "Pr[dead at 20 h]"});
+  for (double factor : {1.0, 0.5, 0.25, 0.1}) {
+    core::KibamRmModel model(workload::make_simple_model(), cell);
+    if (factor < 1.0) {
+      model.set_rate_modifier(
+          [factor, send](std::size_t /*from*/, std::size_t to, double y1,
+                         double /*y2*/) {
+            return (to == send && y1 < 150.0) ? factor : 1.0;
+          },
+          1.0);
+    }
+    core::MarkovianApproximation solver(model, {.delta = 5.0});
+    const core::LifetimeCurve curve = solver.solve(times);
+    table.add_numeric_row({factor, curve.median(), curve.quantile(0.05),
+                           curve.quantile(0.95),
+                           curve.probability_at(20.0)},
+                          3);
+  }
+  table.print(std::cout);
+
+  // Cross-check the strongest policy with the thinning simulator.
+  core::KibamRmModel strongest(workload::make_simple_model(), cell);
+  strongest.set_rate_modifier(
+      [send](std::size_t, std::size_t to, double y1, double) {
+        return (to == send && y1 < 150.0) ? 0.1 : 1.0;
+      },
+      1.0);
+  core::MarkovianApproximation approx(strongest, {.delta = 5.0});
+  core::MonteCarloSimulator sim(strongest, {.replications = 1500});
+  const auto approx_curve = approx.solve(times);
+  const auto sim_curve = sim.empty_probability_curve(times);
+  std::cout << "\nCross-check (factor 0.1): approximation median "
+            << io::format_double(approx_curve.median(), 2)
+            << " h vs thinning-simulation median "
+            << io::format_double(sim_curve.median(), 2) << " h (max CDF gap "
+            << io::format_double(approx_curve.max_difference(sim_curve), 3)
+            << ").\n"
+            << "Throttling trades responsiveness below the threshold for a "
+               "fatter right tail: the median barely moves, the 95% "
+               "quantile stretches.\n";
+  return 0;
+}

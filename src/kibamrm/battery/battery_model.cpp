@@ -1,0 +1,32 @@
+#include "kibamrm/battery/battery_model.hpp"
+
+#include <limits>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+
+double KibamParameters::k_prime() const {
+  if (available_fraction >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return flow_constant / (available_fraction * (1.0 - available_fraction));
+}
+
+void KibamParameters::validate() const {
+  if (!(capacity > 0.0)) {
+    throw ModelError("KiBaM capacity must be positive");
+  }
+  if (!(available_fraction > 0.0) || available_fraction > 1.0) {
+    throw ModelError("KiBaM available fraction c must lie in (0, 1]");
+  }
+  if (flow_constant < 0.0) {
+    throw ModelError("KiBaM flow constant k must be non-negative");
+  }
+  if (available_fraction >= 1.0 && flow_constant != 0.0) {
+    throw ModelError(
+        "KiBaM with c = 1 has no bound well; flow constant k must be 0");
+  }
+}
+
+}  // namespace kibamrm::battery

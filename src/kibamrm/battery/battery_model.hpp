@@ -1,0 +1,64 @@
+// Common interface for discharge models (Sec. 2 and 3 of the paper).
+//
+// A battery model is a stateful object advanced segment-by-segment under a
+// piecewise-constant current.  `advance` must detect the *first* instant the
+// battery becomes empty inside the segment (the paper defines the lifetime
+// L = min{t | y1(t) = 0}, Sec. 4.2) -- once empty, a model stays empty.
+#pragma once
+
+#include <optional>
+
+namespace kibamrm::battery {
+
+/// Parameters of the Kinetic Battery Model (Sec. 3, Fig. 1).
+struct KibamParameters {
+  /// Total capacity C (charge units: As or mAh, caller's choice).
+  double capacity = 0.0;
+  /// Fraction c in (0, 1] of the capacity in the available-charge well.
+  double available_fraction = 1.0;
+  /// Well-flow constant k (per time unit); 0 disables the bound well flow.
+  double flow_constant = 0.0;
+
+  /// Initial charge in the available-charge well, y1(0) = c * C.
+  double initial_available() const { return available_fraction * capacity; }
+  /// Initial charge in the bound-charge well, y2(0) = (1 - c) * C.
+  double initial_bound() const {
+    return (1.0 - available_fraction) * capacity;
+  }
+  /// Height-difference relaxation rate k' = k / (c (1 - c)); infinity when
+  /// c == 1 (the bound well is degenerate and never consulted then).
+  double k_prime() const;
+
+  /// Throws ModelError if the parameters are out of range.
+  void validate() const;
+};
+
+/// Battery state/evolution interface shared by all discharge models.
+class BatteryModel {
+ public:
+  virtual ~BatteryModel() = default;
+
+  /// Restores the full initial charge.
+  virtual void reset() = 0;
+
+  /// Advances the model by `dt` time units under constant discharge current
+  /// `current` (>= 0).  If the battery becomes empty at time e in (0, dt],
+  /// the state is frozen at the empty point and e is returned; afterwards
+  /// the model reports empty() and further advances return 0.
+  virtual std::optional<double> advance(double current, double dt) = 0;
+
+  /// Charge currently in the available-charge well (y1).
+  virtual double available_charge() const = 0;
+
+  /// Charge currently in the bound-charge well (y2); 0 for models without
+  /// a bound well.
+  virtual double bound_charge() const = 0;
+
+  /// y1 + y2.
+  double total_charge() const { return available_charge() + bound_charge(); }
+
+  /// True once the available charge has hit zero.
+  virtual bool empty() const = 0;
+};
+
+}  // namespace kibamrm::battery

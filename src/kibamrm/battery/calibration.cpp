@@ -1,0 +1,73 @@
+#include "kibamrm/battery/calibration.hpp"
+
+#include <cmath>
+
+#include "kibamrm/battery/kibam.hpp"
+#include "kibamrm/battery/lifetime.hpp"
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+
+double estimate_available_fraction(double capacity_at_large_load,
+                                   double capacity_at_small_load) {
+  KIBAMRM_REQUIRE(capacity_at_large_load > 0.0,
+                  "large-load capacity must be positive");
+  KIBAMRM_REQUIRE(capacity_at_small_load >= capacity_at_large_load,
+                  "small-load capacity must be >= large-load capacity");
+  return capacity_at_large_load / capacity_at_small_load;
+}
+
+namespace {
+
+double constant_load_lifetime(double capacity, double c, double k,
+                              double current) {
+  KibamBattery battery({capacity, c, k});
+  const auto lifetime = compute_lifetime(
+      battery, LoadProfile::constant(current), {.max_time = 1e15});
+  if (!lifetime) {
+    throw NumericalError("calibration: battery never empties under load");
+  }
+  return *lifetime;
+}
+
+}  // namespace
+
+double calibrate_flow_constant(double capacity, double available_fraction,
+                               double current, double target_lifetime,
+                               CalibrationOptions options) {
+  KIBAMRM_REQUIRE(capacity > 0.0, "capacity must be positive");
+  KIBAMRM_REQUIRE(available_fraction > 0.0 && available_fraction < 1.0,
+                  "calibration needs c in (0,1): with c = 1 the flow "
+                  "constant is irrelevant");
+  KIBAMRM_REQUIRE(current > 0.0, "calibration current must be positive");
+  KIBAMRM_REQUIRE(target_lifetime > 0.0, "target lifetime must be positive");
+  KIBAMRM_REQUIRE(options.k_lower > 0.0 && options.k_upper > options.k_lower,
+                  "invalid calibration bracket");
+
+  const double life_lo = constant_load_lifetime(capacity, available_fraction,
+                                                options.k_lower, current);
+  const double life_hi = constant_load_lifetime(capacity, available_fraction,
+                                                options.k_upper, current);
+  if (target_lifetime < life_lo || target_lifetime > life_hi) {
+    throw NumericalError(
+        "calibrate_flow_constant: target lifetime outside the attainable "
+        "range of the bracket");
+  }
+
+  double lo = options.k_lower;
+  double hi = options.k_upper;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    const double mid = std::sqrt(lo * hi);  // geometric: k spans decades
+    const double life = constant_load_lifetime(capacity, available_fraction,
+                                               mid, current);
+    if (life < target_lifetime) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if ((hi - lo) / hi < options.tolerance) break;
+  }
+  return std::sqrt(lo * hi);
+}
+
+}  // namespace kibamrm::battery

@@ -1,0 +1,38 @@
+// KiBaM parameter calibration (Sec. 3).
+//
+// The paper determines c as the ratio of the capacity delivered under a very
+// large load to the capacity delivered under a very small load, and fits k
+// "in such a way that the calculated lifetime for a continuous load of
+// 0.96 A corresponded to the experimental value given in [9]".  This module
+// implements both procedures.
+#pragma once
+
+#include "kibamrm/battery/battery_model.hpp"
+
+namespace kibamrm::battery {
+
+/// c = (capacity delivered at very large load) / (capacity at very small
+/// load): at large loads only the available well empties before the cutoff;
+/// at small loads both wells drain completely (Sec. 3).
+double estimate_available_fraction(double capacity_at_large_load,
+                                   double capacity_at_small_load);
+
+struct CalibrationOptions {
+  double k_lower = 1e-9;   // search bracket for k (per time unit)
+  double k_upper = 1.0;
+  double tolerance = 1e-12;  // relative bracket width at convergence
+  int max_iterations = 200;
+};
+
+/// Finds the flow constant k such that the analytical KiBaM with capacity C
+/// and fraction c has the given lifetime under the given constant current.
+///
+/// The lifetime is strictly increasing in k (more bound charge becomes
+/// available in time), so bisection applies.  Throws NumericalError if the
+/// target lifetime is outside the attainable range
+/// [lifetime(k_lower), lifetime(k_upper)].
+double calibrate_flow_constant(double capacity, double available_fraction,
+                               double current, double target_lifetime,
+                               CalibrationOptions options = {});
+
+}  // namespace kibamrm::battery

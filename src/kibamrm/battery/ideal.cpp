@@ -1,0 +1,32 @@
+#include "kibamrm/battery/ideal.hpp"
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+
+IdealBattery::IdealBattery(double capacity)
+    : capacity_(capacity), charge_(capacity) {
+  KIBAMRM_REQUIRE(capacity > 0.0, "ideal battery capacity must be positive");
+}
+
+void IdealBattery::reset() {
+  charge_ = capacity_;
+  empty_ = false;
+}
+
+std::optional<double> IdealBattery::advance(double current, double dt) {
+  KIBAMRM_REQUIRE(current >= 0.0, "discharge current must be >= 0");
+  KIBAMRM_REQUIRE(dt >= 0.0, "time step must be >= 0");
+  if (empty_) return 0.0;
+  const double consumed = current * dt;
+  if (consumed >= charge_ && current > 0.0) {
+    const double crossing = charge_ / current;
+    charge_ = 0.0;
+    empty_ = true;
+    return crossing;
+  }
+  charge_ -= consumed;
+  return std::nullopt;
+}
+
+}  // namespace kibamrm::battery

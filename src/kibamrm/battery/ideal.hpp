@@ -1,0 +1,28 @@
+// The ideal battery of Sec. 2: constant voltage, load-independent capacity.
+// Lifetime under constant load is simply L = C / I; under a profile it is
+// the first time the integrated current reaches C.
+#pragma once
+
+#include "kibamrm/battery/battery_model.hpp"
+
+namespace kibamrm::battery {
+
+class IdealBattery final : public BatteryModel {
+ public:
+  explicit IdealBattery(double capacity);
+
+  void reset() override;
+  std::optional<double> advance(double current, double dt) override;
+  double available_charge() const override { return charge_; }
+  double bound_charge() const override { return 0.0; }
+  bool empty() const override { return empty_; }
+
+  double capacity() const { return capacity_; }
+
+ private:
+  double capacity_;
+  double charge_;
+  bool empty_ = false;
+};
+
+}  // namespace kibamrm::battery

@@ -1,0 +1,126 @@
+#include "kibamrm/battery/kibam.hpp"
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+
+namespace {
+constexpr double kRootTolerance = 1e-12;  // relative bisection tolerance
+}
+
+KibamBattery::KibamBattery(KibamParameters params)
+    : KibamBattery(params, params.initial_available(), params.initial_bound()) {}
+
+KibamBattery::KibamBattery(KibamParameters params, double initial_available,
+                           double initial_bound)
+    : params_(params),
+      initial_y1_(initial_available),
+      initial_y2_(initial_bound),
+      y1_(initial_available),
+      y2_(initial_bound) {
+  params_.validate();
+  KIBAMRM_REQUIRE(initial_available >= 0.0 && initial_bound >= 0.0,
+                  "initial well contents must be non-negative");
+  if (params_.available_fraction >= 1.0) {
+    KIBAMRM_REQUIRE(initial_bound == 0.0,
+                    "c = 1 battery cannot hold bound charge");
+  }
+  empty_ = !(y1_ > 0.0);
+}
+
+void KibamBattery::reset() {
+  y1_ = initial_y1_;
+  y2_ = initial_y2_;
+  empty_ = !(y1_ > 0.0);
+}
+
+double KibamBattery::available_height() const {
+  return y1_ / params_.available_fraction;
+}
+
+double KibamBattery::bound_height() const {
+  if (params_.available_fraction >= 1.0) return 0.0;
+  return y2_ / (1.0 - params_.available_fraction);
+}
+
+KibamBattery::WellState KibamBattery::evaluate(double current,
+                                               double t) const {
+  const double c = params_.available_fraction;
+  if (c >= 1.0) {
+    // Degenerate single-well battery: dy1/dt = -I.
+    return {y1_ - current * t, 0.0};
+  }
+  const double k_prime = params_.k_prime();
+  const double y0 = y1_ + y2_;
+  const double delta0 = y2_ / (1.0 - c) - y1_ / c;
+  double delta;
+  if (params_.flow_constant == 0.0) {
+    // No flow between the wells: y1 drains alone.
+    return {y1_ - current * t, y2_};
+  }
+  const double delta_inf = current / (c * k_prime);
+  delta = delta_inf + (delta0 - delta_inf) * std::exp(-k_prime * t);
+  const double y = y0 - current * t;
+  const double y1 = c * (y - (1.0 - c) * delta);
+  return {y1, y - y1};
+}
+
+std::optional<double> KibamBattery::first_empty_crossing(double current,
+                                                         double dt) const {
+  // y1(t) = alpha - beta t - gamma e^{-k' t} rises to at most one maximum
+  // and then decreases (or is monotone).  Hence the first root in (0, dt]
+  // exists iff y1 becomes non-positive at the segment end or past the
+  // maximum, and standard bisection on the decreasing branch finds it.
+  const auto y1_at = [&](double t) { return evaluate(current, t).y1; };
+
+  if (y1_at(dt) > 0.0) {
+    // Unimodal shape: positive at both ends implies positive throughout
+    // (the only interior extremum is a maximum).
+    return std::nullopt;
+  }
+
+  // Find a bracket [lo, hi] with y1(lo) > 0 >= y1(hi) on the decreasing
+  // branch.  t = 0 qualifies as lo: if the maximum lies inside (0, dt),
+  // y1 only grows before it, so the sign change is after the maximum and
+  // bisection stays correct because every probe with y1 > 0 moves lo
+  // rightward.
+  double lo = 0.0;
+  double hi = dt;
+  // Terminate on the bracket width relative to the *root location* hi, not
+  // to dt: constant-load segments are quasi-infinite (1e15+), and a
+  // dt-relative tolerance would leave an absolute error of seconds there.
+  // 200 iterations bound even the 1e15 -> 1e-13 worst case.
+  for (int i = 0; i < 200 && hi - lo > kRootTolerance * hi; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (y1_at(mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+std::optional<double> KibamBattery::advance(double current, double dt) {
+  KIBAMRM_REQUIRE(current >= 0.0, "discharge current must be >= 0");
+  KIBAMRM_REQUIRE(dt >= 0.0, "time step must be >= 0");
+  if (empty_) return 0.0;
+  if (dt == 0.0) return std::nullopt;
+
+  const std::optional<double> crossing = first_empty_crossing(current, dt);
+  const double horizon = crossing.value_or(dt);
+  WellState next = evaluate(current, horizon);
+  if (crossing) {
+    next.y1 = 0.0;  // snap the bisection residue
+    empty_ = true;
+  }
+  // Round-off guards: wells never go negative, total never grows.
+  y1_ = next.y1 < 0.0 ? 0.0 : next.y1;
+  y2_ = next.y2 < 0.0 ? 0.0 : next.y2;
+  if (y1_ <= 0.0) empty_ = true;
+  return crossing;
+}
+
+}  // namespace kibamrm::battery

@@ -1,0 +1,72 @@
+// The analytical Kinetic Battery Model (Sec. 3, eq. (1)).
+//
+// Charge is distributed over an available-charge well y1 (height h1 = y1/c)
+// and a bound-charge well y2 (height h2 = y2/(1-c)):
+//
+//     dy1/dt = -I + k (h2 - h1)
+//     dy2/dt = -k (h2 - h1)
+//
+// For constant I the system has a closed form.  In the transformed
+// coordinates y = y1 + y2 (total charge) and delta = h2 - h1 (height
+// difference) the equations decouple:
+//
+//     y(t)     = y(0) - I t
+//     delta(t) = delta_inf + (delta(0) - delta_inf) e^{-k' t},
+//
+// with k' = k / (c (1-c)) and delta_inf = I / (c k').  Back-substitution
+// gives y1 = c (y - (1-c) delta).  The advance routine uses this closed form
+// and finds the first y1 = 0 crossing exactly: y1(t) has the shape
+// alpha - beta t - gamma e^{-k' t}, whose derivative changes sign at most
+// once, so the first root is isolated by at most one monotone bisection.
+#pragma once
+
+#include "kibamrm/battery/battery_model.hpp"
+
+namespace kibamrm::battery {
+
+/// Analytical KiBaM battery.  With available_fraction == 1 the model
+/// degenerates to the linear battery dy1/dt = -I (the special case c = 1 of
+/// Sec. 3, used in Figs. 7 and 9).
+class KibamBattery final : public BatteryModel {
+ public:
+  explicit KibamBattery(KibamParameters params);
+
+  /// Starts from explicit well contents instead of (cC, (1-c)C); used by
+  /// Fig. 9's third scenario (reduced initial capacity) and by tests.
+  KibamBattery(KibamParameters params, double initial_available,
+               double initial_bound);
+
+  void reset() override;
+  std::optional<double> advance(double current, double dt) override;
+  double available_charge() const override { return y1_; }
+  double bound_charge() const override { return y2_; }
+  bool empty() const override { return empty_; }
+
+  const KibamParameters& parameters() const { return params_; }
+
+  /// Height of the available-charge well, h1 = y1 / c.
+  double available_height() const;
+  /// Height of the bound-charge well, h2 = y2 / (1 - c); 0 when c == 1.
+  double bound_height() const;
+
+ private:
+  /// Evaluates (y1, y2) after elapsed time `t` under constant `current`
+  /// from the current state, without committing.
+  struct WellState {
+    double y1;
+    double y2;
+  };
+  WellState evaluate(double current, double t) const;
+
+  /// First root of y1 in (0, dt], if any, for the closed-form segment.
+  std::optional<double> first_empty_crossing(double current, double dt) const;
+
+  KibamParameters params_;
+  double initial_y1_;
+  double initial_y2_;
+  double y1_;
+  double y2_;
+  bool empty_ = false;
+};
+
+}  // namespace kibamrm::battery

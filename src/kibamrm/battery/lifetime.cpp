@@ -1,0 +1,62 @@
+#include "kibamrm/battery/lifetime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+
+std::optional<double> compute_lifetime(BatteryModel& model,
+                                       const LoadProfile& profile,
+                                       LifetimeOptions options) {
+  KIBAMRM_REQUIRE(options.max_time > 0.0, "max_time must be positive");
+  model.reset();
+  SegmentWalker walker(profile);
+  double elapsed = 0.0;
+  for (std::size_t n = 0; n < options.max_segments; ++n) {
+    const double horizon = options.max_time - elapsed;
+    if (horizon <= 0.0) return std::nullopt;
+    const double dt = std::min(walker.remaining(), horizon);
+    const std::optional<double> crossing = model.advance(walker.current(), dt);
+    if (crossing) return elapsed + *crossing;
+    elapsed += dt;
+    walker.consume(dt);
+  }
+  throw NumericalError(
+      "compute_lifetime: segment budget exhausted before depletion");
+}
+
+std::vector<WellSample> record_trajectory(BatteryModel& model,
+                                          const LoadProfile& profile,
+                                          const std::vector<double>& times) {
+  KIBAMRM_REQUIRE(std::is_sorted(times.begin(), times.end()),
+                  "trajectory times must be sorted ascending");
+  KIBAMRM_REQUIRE(times.empty() || times.front() >= 0.0,
+                  "trajectory times must be non-negative");
+  model.reset();
+  SegmentWalker walker(profile);
+  std::vector<WellSample> samples;
+  samples.reserve(times.size());
+  double elapsed = 0.0;
+  for (double target : times) {
+    // Advance in segment-sized steps until we reach the target time.
+    while (elapsed < target) {
+      const double dt = std::min(walker.remaining(), target - elapsed);
+      const std::optional<double> crossing =
+          model.advance(walker.current(), dt);
+      if (crossing) {
+        samples.push_back({elapsed + *crossing, model.available_charge(),
+                           model.bound_charge()});
+        return samples;
+      }
+      elapsed += dt;
+      walker.consume(dt);
+    }
+    samples.push_back({target, model.available_charge(),
+                       model.bound_charge()});
+  }
+  return samples;
+}
+
+}  // namespace kibamrm::battery

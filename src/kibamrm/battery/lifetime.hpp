@@ -1,0 +1,46 @@
+// Deterministic lifetime computation and well-trajectory recording.
+//
+// Drives any BatteryModel with a LoadProfile: the lifetime is the first
+// instant the available charge hits zero (Sec. 4.2), found segment by
+// segment with the model's own exact crossing detection.  The trajectory
+// recorder reproduces Fig. 2 (evolution of y1 and y2 over time).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "kibamrm/battery/battery_model.hpp"
+#include "kibamrm/battery/load_profile.hpp"
+
+namespace kibamrm::battery {
+
+struct LifetimeOptions {
+  /// Give up (return nullopt) if the battery survives past this horizon.
+  double max_time = 1e9;
+  /// Cap on processed segments, guarding against zero-current loops on an
+  /// effectively full battery.
+  std::size_t max_segments = 100000000;
+};
+
+/// Lifetime of `model` (reset first) under `profile`; nullopt if the battery
+/// outlives options.max_time.
+std::optional<double> compute_lifetime(BatteryModel& model,
+                                       const LoadProfile& profile,
+                                       LifetimeOptions options = {});
+
+/// One sample point of the well contents.
+struct WellSample {
+  double time;
+  double available;  // y1
+  double bound;      // y2
+};
+
+/// Evolves `model` (reset first) under `profile` and records (y1, y2) at
+/// each requested time (sorted ascending).  Recording stops early if the
+/// battery empties; the final sample is the empty crossing itself, so the
+/// plot shows y1 reaching exactly zero like Fig. 2 would at depletion.
+std::vector<WellSample> record_trajectory(BatteryModel& model,
+                                          const LoadProfile& profile,
+                                          const std::vector<double>& times);
+
+}  // namespace kibamrm::battery

@@ -1,0 +1,94 @@
+#include "kibamrm/battery/load_profile.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+
+LoadProfile::LoadProfile(std::vector<LoadSegment> segments, bool periodic)
+    : segments_(std::move(segments)), periodic_(periodic) {
+  KIBAMRM_REQUIRE(!segments_.empty(), "load profile needs >= 1 segment");
+  for (const LoadSegment& seg : segments_) {
+    KIBAMRM_REQUIRE(seg.duration > 0.0, "segment duration must be positive");
+    KIBAMRM_REQUIRE(seg.current >= 0.0, "segment current must be >= 0");
+    cycle_duration_ += seg.duration;
+  }
+}
+
+LoadProfile LoadProfile::constant(double current) {
+  // One astronomically long segment: the lifetime driver then reaches any
+  // max_time horizon in a single advance() call.
+  return LoadProfile({{1e18, current}}, /*periodic=*/true);
+}
+
+LoadProfile LoadProfile::square_wave(double frequency, double current,
+                                     bool on_first) {
+  KIBAMRM_REQUIRE(frequency > 0.0, "square wave frequency must be positive");
+  const double half = 0.5 / frequency;
+  if (on_first) {
+    return LoadProfile({{half, current}, {half, 0.0}});
+  }
+  return LoadProfile({{half, 0.0}, {half, current}});
+}
+
+double LoadProfile::current_at(double t) const {
+  KIBAMRM_REQUIRE(t >= 0.0, "current_at: time must be >= 0");
+  double offset = t;
+  if (periodic_) {
+    offset = std::fmod(t, cycle_duration_);
+  }
+  for (const LoadSegment& seg : segments_) {
+    if (offset < seg.duration) return seg.current;
+    offset -= seg.duration;
+  }
+  return segments_.back().current;  // non-periodic: hold the last current
+}
+
+double LoadProfile::average_current(double horizon) const {
+  KIBAMRM_REQUIRE(horizon > 0.0, "average_current: horizon must be positive");
+  double window = periodic_ ? cycle_duration_ : horizon;
+  SegmentWalker walker(*this);
+  double charge = 0.0;
+  double remaining = window;
+  while (remaining > 0.0) {
+    const double dt = std::min(remaining, walker.remaining());
+    charge += walker.current() * dt;
+    walker.consume(dt);
+    remaining -= dt;
+  }
+  return charge / window;
+}
+
+SegmentWalker::SegmentWalker(const LoadProfile& profile) : profile_(profile) {}
+
+double SegmentWalker::current() const {
+  if (past_end_) return profile_.segments().back().current;
+  return profile_.segments()[index_].current;
+}
+
+double SegmentWalker::remaining() const {
+  if (past_end_) return std::numeric_limits<double>::infinity();
+  return profile_.segments()[index_].duration - used_in_segment_;
+}
+
+void SegmentWalker::consume(double dt) {
+  if (past_end_) return;
+  KIBAMRM_REQUIRE(dt <= remaining() * (1.0 + 1e-12) && dt >= 0.0,
+                  "consume: dt exceeds remaining segment duration");
+  used_in_segment_ += dt;
+  if (used_in_segment_ >= profile_.segments()[index_].duration * (1.0 - 1e-12)) {
+    used_in_segment_ = 0.0;
+    ++index_;
+    if (index_ == profile_.segments().size()) {
+      if (profile_.periodic()) {
+        index_ = 0;
+      } else {
+        past_end_ = true;
+      }
+    }
+  }
+}
+
+}  // namespace kibamrm::battery

@@ -1,0 +1,74 @@
+// Piecewise-constant load profiles.
+//
+// The paper's deterministic workloads (Sec. 3, Table 1, Fig. 2) are square
+// waves: current I during the "on" half-period, 0 during the "off"
+// half-period.  A LoadProfile is a finite list of (duration, current)
+// segments, optionally repeated periodically forever.
+#pragma once
+
+#include <vector>
+
+namespace kibamrm::battery {
+
+/// One constant-current segment.
+struct LoadSegment {
+  double duration;  // > 0, time units
+  double current;   // >= 0, current units
+};
+
+class LoadProfile {
+ public:
+  /// A profile that repeats `segments` cyclically forever if `periodic`,
+  /// or holds the last segment's current forever otherwise.
+  explicit LoadProfile(std::vector<LoadSegment> segments, bool periodic = true);
+
+  /// Constant current forever.
+  static LoadProfile constant(double current);
+
+  /// Square wave of the given frequency: each period 1/f consists of an
+  /// "on" half at `current` followed by an "off" half at 0 (the paper's
+  /// duty cycle is always 50%).  `on_first` selects whether the wave starts
+  /// in the on phase (the paper's convention).
+  static LoadProfile square_wave(double frequency, double current,
+                                 bool on_first = true);
+
+  /// Current at absolute time t >= 0.
+  double current_at(double t) const;
+
+  /// Average current over one period (periodic) or over the given horizon.
+  double average_current(double horizon) const;
+
+  /// Iteration support for the segment walker below.
+  const std::vector<LoadSegment>& segments() const { return segments_; }
+  bool periodic() const { return periodic_; }
+  double cycle_duration() const { return cycle_duration_; }
+
+ private:
+  std::vector<LoadSegment> segments_;
+  bool periodic_;
+  double cycle_duration_ = 0.0;
+};
+
+/// Streams the segments of a profile in time order, indefinitely for
+/// periodic profiles.  Keeps O(1) state; used by the lifetime driver.
+class SegmentWalker {
+ public:
+  explicit SegmentWalker(const LoadProfile& profile);
+
+  /// The current segment's current.
+  double current() const;
+  /// Remaining duration of the current segment (infinity for the final
+  /// held segment of a non-periodic profile).
+  double remaining() const;
+  /// Consumes `dt <= remaining()` of the current segment, moving to the
+  /// next segment when it is exhausted.
+  void consume(double dt);
+
+ private:
+  const LoadProfile& profile_;
+  std::size_t index_ = 0;
+  double used_in_segment_ = 0.0;
+  bool past_end_ = false;  // non-periodic profile ran out of segments
+};
+
+}  // namespace kibamrm::battery

@@ -1,0 +1,65 @@
+#include "kibamrm/battery/modified_kibam.hpp"
+
+#include "kibamrm/battery/ode.hpp"
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+
+ModifiedKibamBattery::ModifiedKibamBattery(KibamParameters params,
+                                           double rk4_step)
+    : params_(params),
+      rk4_step_(rk4_step),
+      initial_bound_height_(0.0),
+      y1_(params.initial_available()),
+      y2_(params.initial_bound()) {
+  params_.validate();
+  KIBAMRM_REQUIRE(rk4_step > 0.0, "RK4 step must be positive");
+  KIBAMRM_REQUIRE(params_.available_fraction < 1.0,
+                  "modified KiBaM requires a bound well (c < 1)");
+  initial_bound_height_ = y2_ / (1.0 - params_.available_fraction);
+  KIBAMRM_REQUIRE(initial_bound_height_ > 0.0,
+                  "modified KiBaM requires initial bound charge");
+}
+
+void ModifiedKibamBattery::reset() {
+  y1_ = params_.initial_available();
+  y2_ = params_.initial_bound();
+  empty_ = false;
+}
+
+std::optional<double> ModifiedKibamBattery::advance(double current,
+                                                    double dt) {
+  KIBAMRM_REQUIRE(current >= 0.0, "discharge current must be >= 0");
+  KIBAMRM_REQUIRE(dt >= 0.0, "time step must be >= 0");
+  if (empty_) return 0.0;
+  if (dt == 0.0) return std::nullopt;
+
+  const double c = params_.available_fraction;
+  const double k = params_.flow_constant;
+  const double h2_0 = initial_bound_height_;
+
+  const WellOde rhs = [&](double /*t*/, const WellVector& y) -> WellVector {
+    const double h1 = y[0] / c;
+    const double h2 = y[1] / (1.0 - c);
+    double flow = 0.0;
+    if (h2 > h1 && h1 > 0.0) {
+      flow = k * (h2 / h2_0) * (h2 - h1);
+    }
+    return {-current + flow, -flow};
+  };
+
+  const OdeEventResult result = rk4_until_event(
+      rhs, 0.0, {y1_, y2_}, dt, rk4_step_,
+      [](const WellVector& y) { return y[0] <= 0.0; });
+
+  y1_ = result.state[0] < 0.0 ? 0.0 : result.state[0];
+  y2_ = result.state[1] < 0.0 ? 0.0 : result.state[1];
+  if (result.event_hit) {
+    y1_ = 0.0;
+    empty_ = true;
+    return result.event_time;
+  }
+  return std::nullopt;
+}
+
+}  // namespace kibamrm::battery

@@ -1,0 +1,88 @@
+#include "kibamrm/battery/ode.hpp"
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+
+namespace {
+
+WellVector rk4_step(const WellOde& f, double t, const WellVector& y,
+                    double h) {
+  const WellVector k1 = f(t, y);
+  const WellVector y2 = {y[0] + 0.5 * h * k1[0], y[1] + 0.5 * h * k1[1]};
+  const WellVector k2 = f(t + 0.5 * h, y2);
+  const WellVector y3 = {y[0] + 0.5 * h * k2[0], y[1] + 0.5 * h * k2[1]};
+  const WellVector k3 = f(t + 0.5 * h, y3);
+  const WellVector y4 = {y[0] + h * k3[0], y[1] + h * k3[1]};
+  const WellVector k4 = f(t + h, y4);
+  return {y[0] + h / 6.0 * (k1[0] + 2.0 * k2[0] + 2.0 * k3[0] + k4[0]),
+          y[1] + h / 6.0 * (k1[1] + 2.0 * k2[1] + 2.0 * k3[1] + k4[1])};
+}
+
+}  // namespace
+
+WellVector rk4_advance(const WellOde& f, double t, WellVector y, double dt,
+                       int steps) {
+  KIBAMRM_REQUIRE(steps >= 1, "rk4_advance: steps must be >= 1");
+  KIBAMRM_REQUIRE(dt >= 0.0, "rk4_advance: dt must be >= 0");
+  if (dt == 0.0) return y;
+  const double h = dt / steps;
+  for (int i = 0; i < steps; ++i) {
+    y = rk4_step(f, t, y, h);
+    t += h;
+  }
+  return y;
+}
+
+OdeEventResult rk4_until_event(const WellOde& f, double t0,
+                               const WellVector& y0, double horizon,
+                               double step,
+                               const std::function<bool(const WellVector&)>&
+                                   event,
+                               double tolerance) {
+  KIBAMRM_REQUIRE(step > 0.0, "rk4_until_event: step must be positive");
+  KIBAMRM_REQUIRE(horizon >= t0, "rk4_until_event: horizon before start");
+
+  OdeEventResult result;
+  result.state = y0;
+  if (event(y0)) {
+    result.event_hit = true;
+    result.event_time = t0;
+    return result;
+  }
+
+  double t = t0;
+  WellVector y = y0;
+  while (t < horizon) {
+    const double h = std::min(step, horizon - t);
+    const WellVector next = rk4_step(f, t, y, h);
+    if (event(next)) {
+      // Bisect [t, t+h] for the event time.
+      double lo = 0.0;
+      double hi = h;
+      WellVector y_hi = next;
+      for (int i = 0; i < 200 && hi - lo > tolerance; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const WellVector y_mid = rk4_step(f, t, y, mid);
+        if (event(y_mid)) {
+          hi = mid;
+          y_hi = y_mid;
+        } else {
+          lo = mid;
+        }
+      }
+      result.event_hit = true;
+      result.event_time = t + hi;
+      result.state = y_hi;
+      return result;
+    }
+    y = next;
+    t += h;
+  }
+  result.state = y;
+  return result;
+}
+
+}  // namespace kibamrm::battery

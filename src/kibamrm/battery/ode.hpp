@@ -1,0 +1,39 @@
+// Fixed-step classical Runge-Kutta (RK4) integration for small ODE systems.
+//
+// Used by the modified KiBaM (whose recovery term has no closed form) and in
+// tests as an independent cross-check of the analytical KiBaM solution.
+#pragma once
+
+#include <array>
+#include <functional>
+
+namespace kibamrm::battery {
+
+/// State of a two-dimensional ODE system (the two wells).
+using WellVector = std::array<double, 2>;
+
+/// Right-hand side f(t, y) -> dy/dt.
+using WellOde = std::function<WellVector(double, const WellVector&)>;
+
+/// Advances y from t over `dt` with `steps` RK4 sub-steps (steps >= 1).
+WellVector rk4_advance(const WellOde& f, double t, WellVector y, double dt,
+                       int steps);
+
+/// Integrates until either `horizon` elapses or `event(y)` becomes true,
+/// bisecting the final step to locate the event time to `tolerance`.
+/// Returns the event time if hit, along with the final state through the
+/// output parameters.
+struct OdeEventResult {
+  bool event_hit = false;
+  double event_time = 0.0;   // absolute time of the event if hit
+  WellVector state{};        // state at the event or at the horizon
+};
+
+OdeEventResult rk4_until_event(const WellOde& f, double t0,
+                               const WellVector& y0, double horizon,
+                               double step,
+                               const std::function<bool(const WellVector&)>&
+                                   event,
+                               double tolerance = 1e-10);
+
+}  // namespace kibamrm::battery

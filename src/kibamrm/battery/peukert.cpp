@@ -1,0 +1,37 @@
+#include "kibamrm/battery/peukert.hpp"
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+
+PeukertLaw::PeukertLaw(double a, double b) : a_(a), b_(b) {
+  KIBAMRM_REQUIRE(a > 0.0, "Peukert constant a must be positive");
+  KIBAMRM_REQUIRE(b >= 1.0, "Peukert exponent b must be >= 1");
+}
+
+PeukertLaw PeukertLaw::fit(double current1, double lifetime1, double current2,
+                           double lifetime2) {
+  KIBAMRM_REQUIRE(current1 > 0.0 && current2 > 0.0,
+                  "Peukert fit currents must be positive");
+  KIBAMRM_REQUIRE(lifetime1 > 0.0 && lifetime2 > 0.0,
+                  "Peukert fit lifetimes must be positive");
+  KIBAMRM_REQUIRE(current1 != current2,
+                  "Peukert fit needs two distinct currents");
+  const double b =
+      std::log(lifetime1 / lifetime2) / std::log(current2 / current1);
+  const double a = lifetime1 * std::pow(current1, b);
+  return PeukertLaw(a, b);
+}
+
+double PeukertLaw::lifetime(double current) const {
+  KIBAMRM_REQUIRE(current > 0.0, "Peukert lifetime needs positive current");
+  return a_ / std::pow(current, b_);
+}
+
+double PeukertLaw::effective_capacity(double current) const {
+  return current * lifetime(current);
+}
+
+}  // namespace kibamrm::battery

@@ -1,0 +1,34 @@
+// Peukert's law (Sec. 2): L = a / I^b with battery constants a > 0, b > 1.
+// A simple nonlinear lifetime approximation for constant loads; the paper
+// cites it as the baseline that variable loads break (all profiles with the
+// same average current get the same Peukert lifetime).
+#pragma once
+
+namespace kibamrm::battery {
+
+class PeukertLaw {
+ public:
+  /// Direct construction from the constants.
+  PeukertLaw(double a, double b);
+
+  /// Fits (a, b) from two measured (current, lifetime) points with
+  /// distinct currents:  b = ln(L1/L2) / ln(I2/I1),  a = L1 * I1^b.
+  static PeukertLaw fit(double current1, double lifetime1, double current2,
+                        double lifetime2);
+
+  /// Lifetime under constant current.
+  double lifetime(double current) const;
+
+  /// Effective delivered capacity I * L(I) = a * I^{1-b}: decreases with
+  /// the load, capturing the rate-capacity effect qualitatively.
+  double effective_capacity(double current) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  double a_;
+  double b_;
+};
+
+}  // namespace kibamrm::battery

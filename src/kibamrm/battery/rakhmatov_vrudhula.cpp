@@ -1,0 +1,144 @@
+#include "kibamrm/battery/rakhmatov_vrudhula.hpp"
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+
+void RakhmatovVrudhulaParameters::validate() const {
+  if (!(alpha > 0.0)) {
+    throw ModelError("R-V model: capacity alpha must be positive");
+  }
+  if (!(beta > 0.0)) {
+    throw ModelError("R-V model: diffusion constant beta must be positive");
+  }
+  if (modes < 1 || modes > 1000) {
+    throw ModelError("R-V model: modes must lie in [1, 1000]");
+  }
+}
+
+RakhmatovVrudhulaBattery::RakhmatovVrudhulaBattery(
+    RakhmatovVrudhulaParameters params)
+    : params_(params),
+      mode_state_(static_cast<std::size_t>(params.modes), 0.0) {
+  params_.validate();
+}
+
+void RakhmatovVrudhulaBattery::reset() {
+  mode_state_.assign(mode_state_.size(), 0.0);
+  consumed_ = 0.0;
+  empty_ = false;
+}
+
+double RakhmatovVrudhulaBattery::apparent_charge() const {
+  double unavailable = 0.0;
+  for (double s : mode_state_) unavailable += s;
+  return consumed_ + 2.0 * unavailable;
+}
+
+double RakhmatovVrudhulaBattery::available_charge() const {
+  const double remaining = params_.alpha - apparent_charge();
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+double RakhmatovVrudhulaBattery::bound_charge() const {
+  double unavailable = 0.0;
+  for (double s : mode_state_) unavailable += s;
+  return 2.0 * unavailable;
+}
+
+double RakhmatovVrudhulaBattery::sigma_after(double current,
+                                             double dt) const {
+  double sigma = consumed_ + current * dt;
+  const double beta_sq = params_.beta * params_.beta;
+  for (std::size_t m = 0; m < mode_state_.size(); ++m) {
+    const double lambda =
+        beta_sq * static_cast<double>((m + 1) * (m + 1));
+    const double decay = std::exp(-lambda * dt);
+    const double s =
+        mode_state_[m] * decay + current * (1.0 - decay) / lambda;
+    sigma += 2.0 * s;
+  }
+  return sigma;
+}
+
+void RakhmatovVrudhulaBattery::commit(double current, double dt) {
+  const double beta_sq = params_.beta * params_.beta;
+  for (std::size_t m = 0; m < mode_state_.size(); ++m) {
+    const double lambda =
+        beta_sq * static_cast<double>((m + 1) * (m + 1));
+    const double decay = std::exp(-lambda * dt);
+    mode_state_[m] =
+        mode_state_[m] * decay + current * (1.0 - decay) / lambda;
+  }
+  consumed_ += current * dt;
+}
+
+std::optional<double> RakhmatovVrudhulaBattery::advance(double current,
+                                                        double dt) {
+  KIBAMRM_REQUIRE(current >= 0.0, "discharge current must be >= 0");
+  KIBAMRM_REQUIRE(dt >= 0.0, "time step must be >= 0");
+  if (empty_) return 0.0;
+  if (dt == 0.0) return std::nullopt;
+
+  // Under load sigma is strictly increasing (every term grows with t); at
+  // rest it decreases (recovery).  Hence the first alpha-crossing inside
+  // the segment exists iff sigma(dt) >= alpha, and bisection on the
+  // monotone branch finds it (at rest there is no crossing).
+  if (sigma_after(current, dt) < params_.alpha) {
+    commit(current, dt);
+    return std::nullopt;
+  }
+  if (current == 0.0) {
+    // Rest can only reduce sigma; reaching here means we were already at
+    // the boundary through round-off.
+    empty_ = true;
+    return 0.0;
+  }
+  double lo = 0.0;
+  double hi = dt;
+  for (int i = 0; i < 200 && hi - lo > 1e-12 * hi; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (sigma_after(current, mid) < params_.alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  commit(current, hi);
+  empty_ = true;
+  return hi;
+}
+
+std::optional<double> rv_constant_load_lifetime(
+    const RakhmatovVrudhulaParameters& params, double current,
+    double max_time) {
+  params.validate();
+  KIBAMRM_REQUIRE(current >= 0.0, "discharge current must be >= 0");
+  if (current == 0.0) return std::nullopt;
+
+  const double beta_sq = params.beta * params.beta;
+  const auto sigma = [&](double t) {
+    double total = current * t;
+    for (int m = 1; m <= params.modes; ++m) {
+      const double lambda = beta_sq * static_cast<double>(m * m);
+      total += 2.0 * current * (1.0 - std::exp(-lambda * t)) / lambda;
+    }
+    return total;
+  };
+  if (sigma(max_time) < params.alpha) return std::nullopt;
+  double lo = 0.0;
+  double hi = max_time;
+  for (int i = 0; i < 200 && hi - lo > 1e-12 * hi; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (sigma(mid) < params.alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace kibamrm::battery

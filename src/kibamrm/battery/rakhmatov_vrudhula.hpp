@@ -1,0 +1,88 @@
+// The Rakhmatov-Vrudhula diffusion battery model (the paper's ref. [2]:
+// "An analytical high-level battery model for use in energy management of
+// portable electronic systems", ICCAD'01).
+//
+// The model tracks the *apparent* charge drawn from a one-dimensional
+// diffusion process.  For a load i(tau) the battery is empty at the first
+// time L with
+//
+//   alpha = int_0^L i(tau) dtau
+//         + 2 sum_{m=1}^inf int_0^L i(tau) e^{-beta^2 m^2 (L - tau)} dtau,
+//
+// where alpha is the battery's charge capacity and beta captures the
+// diffusion rate.  The first term is the charge actually consumed; the sum
+// is the transient "unavailable" charge that diffuses back during rest --
+// the same recovery phenomenon the KiBaM models with its bound well, under
+// a different (infinite-mode) relaxation spectrum.
+//
+// For piecewise-constant loads each mode integral obeys a one-line
+// exponential update, so the model composes exactly across segments:
+//   s_m(t + dt) = s_m(t) e^{-lambda_m dt} + I (1 - e^{-lambda_m dt}) / lambda_m,
+// with lambda_m = beta^2 m^2.  The series is truncated at `modes` terms
+// (10 by default; the tail decays like 1/m^2 at full load and
+// exponentially after any rest).
+//
+// This model is included as an extra substrate baseline: it lets users
+// cross-check KiBaM recovery behaviour against an independently published
+// battery law (see bench/ablation_battery_models).
+#pragma once
+
+#include <vector>
+
+#include "kibamrm/battery/battery_model.hpp"
+
+namespace kibamrm::battery {
+
+struct RakhmatovVrudhulaParameters {
+  /// Charge capacity alpha (charge units, e.g. As).
+  double alpha = 0.0;
+  /// Diffusion constant beta (per sqrt(time)); lambda_m = beta^2 m^2.
+  double beta = 0.0;
+  /// Number of diffusion modes retained in the series.
+  int modes = 10;
+
+  void validate() const;
+};
+
+class RakhmatovVrudhulaBattery final : public BatteryModel {
+ public:
+  explicit RakhmatovVrudhulaBattery(RakhmatovVrudhulaParameters params);
+
+  void reset() override;
+  std::optional<double> advance(double current, double dt) override;
+
+  /// Remaining apparent charge alpha - sigma(t) (the model's analog of the
+  /// available charge).
+  double available_charge() const override;
+  /// The transient unavailable charge 2 sum_m s_m (diffusing back during
+  /// rest -- the analog of the bound well's deficit).
+  double bound_charge() const override;
+  bool empty() const override { return empty_; }
+
+  /// Apparent drawn charge sigma(t).
+  double apparent_charge() const;
+  /// Net consumed charge int i dtau so far.
+  double consumed_charge() const { return consumed_; }
+
+  const RakhmatovVrudhulaParameters& parameters() const { return params_; }
+
+ private:
+  /// sigma after advancing the mode states by (current, dt), without
+  /// committing.
+  double sigma_after(double current, double dt) const;
+  void commit(double current, double dt);
+
+  RakhmatovVrudhulaParameters params_;
+  std::vector<double> mode_state_;  // s_m
+  double consumed_ = 0.0;
+  bool empty_ = false;
+};
+
+/// Constant-load lifetime by the closed-form series (bisection on L);
+/// cross-check for the incremental model and a convenient baseline.
+/// Returns nullopt if the battery survives `max_time`.
+std::optional<double> rv_constant_load_lifetime(
+    const RakhmatovVrudhulaParameters& params, double current,
+    double max_time = 1e9);
+
+}  // namespace kibamrm::battery

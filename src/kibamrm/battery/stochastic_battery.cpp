@@ -1,0 +1,116 @@
+#include "kibamrm/battery/stochastic_battery.hpp"
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+
+void StochasticBatteryParameters::validate() const {
+  if (available_units == 0) {
+    throw ModelError("stochastic battery needs available units");
+  }
+  if (!(charge_per_unit > 0.0)) {
+    throw ModelError("charge per unit must be positive");
+  }
+  if (!(slot_duration > 0.0)) {
+    throw ModelError("slot duration must be positive");
+  }
+  if (recovery_decay < 0.0) {
+    throw ModelError("recovery decay must be non-negative");
+  }
+  if (!(base_recovery_probability > 0.0) || base_recovery_probability > 1.0) {
+    throw ModelError("base recovery probability must lie in (0, 1]");
+  }
+}
+
+StochasticBattery::StochasticBattery(StochasticBatteryParameters params,
+                                     common::RandomStream rng)
+    : params_(params),
+      rng_(rng),
+      available_(params.available_units),
+      bound_(params.bound_units),
+      drain_accumulator_(0.0),
+      slot_accumulator_(0.0),
+      elapsed_in_advance_(0.0) {
+  params_.validate();
+}
+
+void StochasticBattery::reset() {
+  available_ = params_.available_units;
+  bound_ = params_.bound_units;
+  drain_accumulator_ = 0.0;
+  slot_accumulator_ = 0.0;
+  empty_ = false;
+}
+
+double StochasticBattery::available_charge() const {
+  return static_cast<double>(available_) * params_.charge_per_unit;
+}
+
+double StochasticBattery::bound_charge() const {
+  return static_cast<double>(bound_) * params_.charge_per_unit;
+}
+
+void StochasticBattery::drain(double current, double duration) {
+  drain_accumulator_ += current * duration / params_.charge_per_unit;
+  while (drain_accumulator_ >= 1.0 && available_ > 0) {
+    --available_;
+    drain_accumulator_ -= 1.0;
+  }
+  if (available_ == 0 && drain_accumulator_ > 0.0) empty_ = true;
+}
+
+void StochasticBattery::run_slot(double current) {
+  if (available_ == 0) {
+    empty_ = true;
+    return;
+  }
+  if (current == 0.0 && bound_ > 0) {
+    // Idle slot: probabilistic recovery, decaying with depth of discharge.
+    const double total_units = static_cast<double>(
+        params_.available_units + params_.bound_units);
+    const double consumed = total_units - static_cast<double>(available_) -
+                            static_cast<double>(bound_);
+    const double depth = consumed / total_units;
+    const double p = params_.base_recovery_probability *
+                     std::exp(-params_.recovery_decay * depth);
+    if (rng_.bernoulli(p)) {
+      --bound_;
+      ++available_;
+    }
+  }
+}
+
+std::optional<double> StochasticBattery::advance(double current, double dt) {
+  KIBAMRM_REQUIRE(current >= 0.0, "discharge current must be >= 0");
+  KIBAMRM_REQUIRE(dt >= 0.0, "time step must be >= 0");
+  if (empty_) return 0.0;
+
+  elapsed_in_advance_ = 0.0;
+  // Consume whole slots; a partial slot at the end is carried over so that
+  // consecutive segments tile time exactly.
+  double remaining = dt;
+  while (remaining > 0.0 && !empty_) {
+    const double to_slot_boundary =
+        (1.0 - slot_accumulator_) * params_.slot_duration;
+    if (remaining < to_slot_boundary) {
+      // Partial slot: draw charge proportionally, defer recovery to the
+      // slot boundary.
+      slot_accumulator_ += remaining / params_.slot_duration;
+      drain(current, remaining);
+      elapsed_in_advance_ += remaining;
+      remaining = 0.0;
+      break;
+    }
+    remaining -= to_slot_boundary;
+    drain(current, to_slot_boundary);
+    elapsed_in_advance_ += to_slot_boundary;
+    slot_accumulator_ = 0.0;
+    if (!empty_) run_slot(current);
+  }
+  if (empty_) return elapsed_in_advance_;
+  return std::nullopt;
+}
+
+}  // namespace kibamrm::battery

@@ -1,0 +1,77 @@
+// Stochastic discrete-charge battery model (after Chiasserini & Rao [6] and
+// the stochastic evaluation of the modified KiBaM in Rao et al. [9]).
+//
+// The battery holds an integer number of charge units.  Time advances in
+// fixed slots.  A slot under load consumes current*slot worth of units
+// (fractions accumulate); an idle slot recovers one unit with a probability
+// that *decays exponentially with the depth of discharge*:
+//
+//     p_recover = exp(-g * (units_consumed_net / total_units))
+//
+// capped by the charge still waiting in the bound store (recovery cannot
+// create charge).  This is the mechanism through which pulsed discharge at
+// different frequencies yields different lifetimes even at equal duty cycle
+// -- the qualitative effect the experimental column of Table 1 shows and the
+// deterministic (modified) KiBaM misses.
+//
+// The model intentionally exposes the same BatteryModel interface, but note
+// that advance() is *random*: drive it repeatedly and average (see
+// sample_lifetimes in core/simulator.hpp or bench/table1).
+#pragma once
+
+#include <cstdint>
+
+#include "kibamrm/battery/battery_model.hpp"
+#include "kibamrm/common/random.hpp"
+
+namespace kibamrm::battery {
+
+struct StochasticBatteryParameters {
+  /// Charge units directly available (analog of y1(0) = c*C).
+  std::uint64_t available_units = 0;
+  /// Charge units in the bound store (analog of y2(0) = (1-c)*C).
+  std::uint64_t bound_units = 0;
+  /// Amount of charge per unit, in the caller's charge unit (e.g. As).
+  double charge_per_unit = 1.0;
+  /// Slot length in the caller's time unit.
+  double slot_duration = 1.0;
+  /// Recovery decay constant g >= 0; larger g = recovery dies off faster
+  /// with depth of discharge.
+  double recovery_decay = 1.0;
+  /// Base recovery probability at full charge, in (0, 1].
+  double base_recovery_probability = 1.0;
+
+  void validate() const;
+};
+
+class StochasticBattery final : public BatteryModel {
+ public:
+  StochasticBattery(StochasticBatteryParameters params,
+                    common::RandomStream rng);
+
+  void reset() override;
+
+  /// Advances whole slots covering `dt` (dt is accumulated across calls so
+  /// sub-slot segments compose exactly).  Returns the (slot-resolution)
+  /// empty-crossing time if the available store drains during the call.
+  std::optional<double> advance(double current, double dt) override;
+
+  double available_charge() const override;
+  double bound_charge() const override;
+  bool empty() const override { return empty_; }
+
+ private:
+  void drain(double current, double duration);
+  void run_slot(double current);
+
+  StochasticBatteryParameters params_;
+  common::RandomStream rng_;
+  std::uint64_t available_;     // units
+  std::uint64_t bound_;         // units
+  double drain_accumulator_;    // fractional units owed by the load
+  double slot_accumulator_;     // fraction of the next slot already elapsed
+  double elapsed_in_advance_;   // bookkeeping for crossing times
+  bool empty_ = false;
+};
+
+}  // namespace kibamrm::battery

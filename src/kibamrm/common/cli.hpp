@@ -1,0 +1,52 @@
+// Minimal command-line option parsing for the bench and example binaries.
+//
+// Supports `--flag`, `--key value` and `--key=value` forms.  Unknown options
+// raise InvalidArgument so typos in bench invocations fail loudly instead of
+// silently running the default configuration.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace kibamrm::common {
+
+/// Parsed command line.  Construct once from argc/argv, then query options.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if `--name` appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// String value of `--name value` / `--name=value`, or `fallback`.
+  std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Numeric accessors; throw InvalidArgument on malformed numbers.
+  double get_double(const std::string& name, double fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+
+  /// Parses a comma-separated list of doubles, e.g. `--delta 100,50,25`.
+  std::vector<double> get_double_list(const std::string& name,
+                                      std::vector<double> fallback) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+  /// Registers `name` as known; returns *this for chaining.  After all
+  /// declare() calls, validate() throws on any unknown option.
+  CliArgs& declare(const std::string& name);
+  void validate() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::optional<std::string>> options_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> declared_;
+};
+
+}  // namespace kibamrm::common

@@ -1,0 +1,16 @@
+#include "kibamrm/common/error.hpp"
+
+#include <sstream>
+
+namespace kibamrm::detail {
+
+void throw_requirement_failure(const char* expr, const std::string& message,
+                               std::source_location where) {
+  std::ostringstream out;
+  out << message << " [requirement `" << expr << "` failed at "
+      << where.file_name() << ":" << where.line() << " in "
+      << where.function_name() << "]";
+  throw InvalidArgument(out.str());
+}
+
+}  // namespace kibamrm::detail

@@ -1,0 +1,118 @@
+#include "kibamrm/common/random.hpp"
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::common {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+double RandomStream::uniform() {
+  // 53 random bits -> double in [0,1).
+  return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+}
+
+double RandomStream::uniform(double lo, double hi) {
+  KIBAMRM_REQUIRE(lo < hi, "uniform(lo,hi) requires lo < hi");
+  return lo + (hi - lo) * uniform();
+}
+
+double RandomStream::exponential(double rate) {
+  KIBAMRM_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  // Inverse transform; 1 - U avoids log(0).
+  return -std::log1p(-uniform()) / rate;
+}
+
+double RandomStream::erlang(int k, double rate) {
+  KIBAMRM_REQUIRE(k >= 1, "Erlang shape must be >= 1");
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) sum += exponential(rate);
+  return sum;
+}
+
+bool RandomStream::bernoulli(double p) {
+  KIBAMRM_REQUIRE(p >= 0.0 && p <= 1.0, "Bernoulli p must lie in [0,1]");
+  return uniform() < p;
+}
+
+std::size_t RandomStream::discrete(const std::vector<double>& weights) {
+  KIBAMRM_REQUIRE(!weights.empty(), "discrete() needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    KIBAMRM_REQUIRE(w >= 0.0, "discrete() weights must be non-negative");
+    total += w;
+  }
+  KIBAMRM_REQUIRE(total > 0.0, "discrete() weights must not all be zero");
+  double u = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical slack: return last index
+}
+
+RandomStream RandomStream::split() {
+  // The child takes over the current position and the parent jumps 2^128
+  // steps ahead: successive split() calls hand out pairwise disjoint
+  // sub-streams.  (Jumping only the child would leave consecutive children
+  // offset by a single draw -- massively overlapping, correlated streams.)
+  RandomStream child = *this;
+  gen_.jump();
+  return child;
+}
+
+}  // namespace kibamrm::common

@@ -1,0 +1,73 @@
+// Pseudo-random number generation for the Monte-Carlo simulators.
+//
+// We ship our own xoshiro256** generator (public-domain algorithm by
+// Blackman & Vigna) rather than std::mt19937 because it is faster, has a
+// tiny state, and gives us deterministic, platform-independent streams --
+// important for reproducible simulation tests.  Seeding goes through
+// splitmix64 so that small consecutive seeds yield decorrelated streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kibamrm::common {
+
+/// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a 64-bit seed (expanded via splitmix64).
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()();
+
+  /// Jumps the stream forward by 2^128 steps; used to derive independent
+  /// sub-streams for parallel replications.
+  void jump();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Convenience sampling wrapper around a generator.  All distributions are
+/// implemented directly (inverse transform / sums) so results are identical
+/// across standard libraries.
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : gen_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential with rate `rate` (> 0); mean 1/rate.
+  double exponential(double rate);
+
+  /// Erlang-K: sum of k independent exponentials with rate `rate`.
+  double erlang(int k, double rate);
+
+  /// Bernoulli with success probability p in [0,1].
+  bool bernoulli(double p);
+
+  /// Samples an index from a discrete distribution given by non-negative
+  /// weights (need not be normalised; their sum must be positive).
+  std::size_t discrete(const std::vector<double>& weights);
+
+  /// Underlying bit generator (e.g. for std distributions in tests).
+  Xoshiro256& generator() { return gen_; }
+
+  /// Derives an independent sub-stream (jump-ahead copy).
+  RandomStream split();
+
+ private:
+  Xoshiro256 gen_;
+};
+
+}  // namespace kibamrm::common

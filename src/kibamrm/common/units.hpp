@@ -1,0 +1,69 @@
+// Unit conventions and conversions.
+//
+// The paper mixes two unit systems:
+//   - the on/off experiments (Sec. 6.1) use seconds and ampere-seconds (As),
+//     with currents in ampere (A);
+//   - the simple/burst experiments (Sec. 6.2) use hours and milliampere-hours
+//     (mAh), with currents in milliampere (mA).
+//
+// The library itself is unit-agnostic: every model carries plain doubles and
+// it is the caller's job to keep time, charge and current consistent
+// (charge = current * time).  This header provides the named conversions the
+// paper uses, so call sites read like the paper text, e.g.
+// `per_second_to_per_hour(4.5e-5)` yields the 1.96e-2/h quoted in Sec. 6.2.
+#pragma once
+
+namespace kibamrm::units {
+
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kMinutesPerHour = 60.0;
+
+/// Converts hours to seconds.
+constexpr double hours_to_seconds(double hours) {
+  return hours * kSecondsPerHour;
+}
+
+/// Converts seconds to hours.
+constexpr double seconds_to_hours(double seconds) {
+  return seconds / kSecondsPerHour;
+}
+
+/// Converts minutes to seconds.
+constexpr double minutes_to_seconds(double minutes) {
+  return minutes * kSecondsPerMinute;
+}
+
+/// Converts seconds to minutes.
+constexpr double seconds_to_minutes(double seconds) {
+  return seconds / kSecondsPerMinute;
+}
+
+/// Converts a capacity in mAh to ampere-seconds (As).
+/// 1 mAh = 3.6 As.
+constexpr double mAh_to_As(double mah) { return mah * 3.6; }
+
+/// Converts ampere-seconds to mAh.
+constexpr double As_to_mAh(double as) { return as / 3.6; }
+
+/// Converts an Ah capacity to ampere-seconds.
+constexpr double Ah_to_As(double ah) { return ah * kSecondsPerHour; }
+
+/// Converts a rate expressed per second into a rate per hour
+/// (e.g. the KiBaM constant k = 4.5e-5/s = 1.96e-2/h, Sec. 6.2).
+constexpr double per_second_to_per_hour(double per_second) {
+  return per_second * kSecondsPerHour;
+}
+
+/// Converts a rate per hour into a rate per second.
+constexpr double per_hour_to_per_second(double per_hour) {
+  return per_hour / kSecondsPerHour;
+}
+
+/// Converts milliampere to ampere.
+constexpr double mA_to_A(double ma) { return ma / 1000.0; }
+
+/// Converts ampere to milliampere.
+constexpr double A_to_mA(double a) { return a * 1000.0; }
+
+}  // namespace kibamrm::units

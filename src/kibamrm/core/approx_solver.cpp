@@ -1,0 +1,36 @@
+#include "kibamrm/core/approx_solver.hpp"
+
+namespace kibamrm::core {
+
+MarkovianApproximation::MarkovianApproximation(const KibamRmModel& model,
+                                               ApproximationOptions options)
+    : options_(options),
+      expanded_(build_expanded_chain(model, options.delta)) {
+  stats_.expanded_states = expanded_.grid.state_count();
+  stats_.generator_nonzeros = expanded_.chain.generator().nonzeros();
+}
+
+LifetimeCurve MarkovianApproximation::solve(const std::vector<double>& times) {
+  markov::TransientOptions transient;
+  transient.epsilon = options_.epsilon;
+  markov::TransientSolver solver(expanded_.chain, transient);
+
+  std::vector<double> probabilities(times.size(), 0.0);
+  solver.solve(expanded_.initial, times,
+               [&](std::size_t index, double /*t*/,
+                   const std::vector<double>& pi) {
+                 probabilities[index] = expanded_.empty_probability(pi);
+               });
+  stats_.uniformization_iterations = solver.last_stats().iterations;
+  stats_.uniformization_rate = solver.last_stats().uniformization_rate;
+  return LifetimeCurve(times, std::move(probabilities));
+}
+
+LifetimeCurve approximate_lifetime_distribution(
+    const KibamRmModel& model, double delta,
+    const std::vector<double>& times) {
+  MarkovianApproximation solver(model, {.delta = delta});
+  return solver.solve(times);
+}
+
+}  // namespace kibamrm::core

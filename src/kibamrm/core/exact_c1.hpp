@@ -1,0 +1,60 @@
+// Exact battery-empty probabilities for the single-well case c = 1.
+//
+// With c = 1 the KiBaMRM degenerates to a classical Markov reward model with
+// constant, non-negative reward rates I_i: the consumed energy is
+// Y(t) = int_0^t I_{X(s)} ds, which is non-decreasing, so
+//
+//     Pr{battery empty at t} = Pr{Y(t) >= C}.
+//
+// The paper computes the rightmost curve of Fig. 10 with a uniformisation-
+// based performability algorithm [25].  We obtain the same distribution by a
+// transform method (a documented substitution, see DESIGN.md Sec. 4): the
+// joint transform of state and consumed energy is
+//
+//     phi(s, t) = alpha * exp(t (Q - s R)) * 1,      R = diag(I_i),
+//
+// which is an entire function of s evaluable for complex s with the dense
+// Pade matrix exponential.  Since int_0^inf e^{-sy} F(t, y) dy = phi(s,t)/s
+// for the CDF F(t, y) = Pr{Y(t) <= y}, an Abate-Whitt Euler inversion in y
+// at y = C yields Pr{Y(t) <= C} with ~1e-8 discretisation error -- far
+// below plotting resolution, hence "exact" in the paper's sense.
+//
+// Workload chains here are tiny (2-6 states), so each curve point costs
+// ~2M+1 complex 3x3 exponentials: microseconds.
+#pragma once
+
+#include "kibamrm/core/kibamrm_model.hpp"
+#include "kibamrm/core/lifetime_distribution.hpp"
+
+namespace kibamrm::core {
+
+struct ExactC1Options {
+  /// Abate-Whitt Euler parameters: discretisation error ~ e^{-a}.
+  double a = 18.4;
+  /// Partial sums before Euler smoothing.  Nearly deterministic lifetimes
+  /// (the on/off model) have slowly decaying transforms; 400 terms brings
+  /// the oscillation below 1e-12 there while costing well under a
+  /// millisecond per curve point on the paper's tiny chains.
+  int terms = 400;
+  int euler_terms = 12;  // binomial smoothing depth
+};
+
+class ExactC1Solver {
+ public:
+  /// Requires a single-well model (c = 1, or no bound charge/flow).
+  /// Throws InvalidArgument otherwise.  The model is stored by value so
+  /// solvers may outlive the expressions configuring them.
+  explicit ExactC1Solver(KibamRmModel model, ExactC1Options options = {});
+
+  /// Pr{battery empty at t}, exact up to the inversion error.
+  double empty_probability(double t) const;
+
+  /// Curve over a time grid.
+  LifetimeCurve solve(const std::vector<double>& times) const;
+
+ private:
+  KibamRmModel model_;
+  ExactC1Options options_;
+};
+
+}  // namespace kibamrm::core

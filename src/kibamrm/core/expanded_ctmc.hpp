@@ -1,0 +1,37 @@
+// The expanded pure CTMC Q* of the Markovian approximation (Sec. 5.2).
+//
+// Three transition families over states (i, j1, j2):
+//
+//  1. workload transitions   (i,j1,j2) -> (i',j1,j2)    rate Q_{i,i'}
+//  2. energy consumption     (i,j1,j2) -> (i,j1-1,j2)   rate I_i / Delta
+//  3. bound->available flow  (i,j1,j2) -> (i,j1+1,j2-1)
+//                            rate k (j2/(1-c) - j1/c)   when positive
+//
+// The j1 = 0 layer ("battery empty") is absorbing: the lifetime is the
+// *first* time the available charge hits zero, so no recovery is allowed
+// from there (Sec. 5.2).  The approximated quantity of interest is
+//     Pr{battery empty at t}  ~=  sum_i sum_{j2} pi_{(i,0,j2)}(t).
+#pragma once
+
+#include <vector>
+
+#include "kibamrm/core/level_grid.hpp"
+#include "kibamrm/markov/ctmc.hpp"
+
+namespace kibamrm::core {
+
+/// The derived chain together with its grid and initial distribution.
+struct ExpandedChain {
+  LevelGrid grid;
+  markov::Ctmc chain;
+  std::vector<double> initial;
+
+  /// Pr{battery empty} under a transient distribution of `chain`.
+  double empty_probability(const std::vector<double>& pi) const;
+};
+
+/// Builds Q*, the initial distribution alpha*, and the grid for the given
+/// model and step size.
+ExpandedChain build_expanded_chain(const KibamRmModel& model, double delta);
+
+}  // namespace kibamrm::core

@@ -1,0 +1,47 @@
+#include "kibamrm/core/kibamrm_model.hpp"
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::core {
+
+KibamRmModel::KibamRmModel(workload::WorkloadModel workload,
+                           battery::KibamParameters battery)
+    : KibamRmModel(std::move(workload), battery, battery.initial_available(),
+                   battery.initial_bound()) {}
+
+KibamRmModel::KibamRmModel(workload::WorkloadModel workload,
+                           battery::KibamParameters battery,
+                           double initial_available, double initial_bound)
+    : workload_(std::move(workload)),
+      battery_(battery),
+      initial_available_(initial_available),
+      initial_bound_(initial_bound) {
+  battery_.validate();
+  KIBAMRM_REQUIRE(initial_available > 0.0,
+                  "initial available charge must be positive");
+  KIBAMRM_REQUIRE(initial_bound >= 0.0,
+                  "initial bound charge must be non-negative");
+  if (battery_.available_fraction >= 1.0) {
+    KIBAMRM_REQUIRE(initial_bound == 0.0,
+                    "c = 1 battery cannot hold bound charge");
+  }
+}
+
+double KibamRmModel::available_upper_bound() const {
+  return battery_.available_fraction * (initial_available_ + initial_bound_);
+}
+
+void KibamRmModel::set_rate_modifier(RateModifier modifier, double bound) {
+  KIBAMRM_REQUIRE(static_cast<bool>(modifier),
+                  "rate modifier must be callable");
+  KIBAMRM_REQUIRE(bound > 0.0, "rate modifier bound must be positive");
+  modifier_ = std::move(modifier);
+  modifier_bound_ = bound;
+}
+
+bool KibamRmModel::single_well() const {
+  return battery_.available_fraction >= 1.0 || initial_bound_ == 0.0 ||
+         battery_.flow_constant == 0.0;
+}
+
+}  // namespace kibamrm::core

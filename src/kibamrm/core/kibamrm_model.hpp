@@ -1,0 +1,76 @@
+// The KiBaMRM (Sec. 4.2): a kinetic battery combined with a CTMC workload.
+//
+// The workload CTMC states are the operating modes of the device; the two
+// accumulated rewards are the available-charge well Y1 and the bound-charge
+// well Y2, with reward-inhomogeneous rates derived from the KiBaM equations:
+//
+//   r_{i,1}(y1, y2) = -I_i + k (h2 - h1)   if h2 > h1 > 0, else 0
+//   r_{i,2}(y1, y2) =      - k (h2 - h1)   if h2 > h1 > 0, else 0
+//
+// The battery is empty at time t iff Y1(t) = 0; the lifetime is the first
+// such instant.  This type only couples the two ingredient models and fixes
+// the initial well contents; the solvers live in approx_solver.hpp (the
+// paper's Markovian approximation), exact_c1.hpp (transform solver for the
+// c = 1 case) and simulator.hpp (Monte Carlo).
+#pragma once
+
+#include <functional>
+
+#include "kibamrm/battery/battery_model.hpp"
+#include "kibamrm/workload/workload_model.hpp"
+
+namespace kibamrm::core {
+
+/// Multiplier applied to a workload transition rate as a function of the
+/// current charge state: rate(from -> to) * modifier(from, to, y1, y2).
+/// This is the reward-inhomogeneous generator Q(y1, y2) of Sec. 4.1 --
+/// e.g. a device that throttles its send rate when the battery runs low.
+/// Must return values in [0, bound] for the bound registered alongside it.
+using RateModifier =
+    std::function<double(std::size_t from, std::size_t to, double y1,
+                         double y2)>;
+
+class KibamRmModel {
+ public:
+  /// Battery starting from the natural split y1 = cC, y2 = (1-c)C.
+  KibamRmModel(workload::WorkloadModel workload,
+               battery::KibamParameters battery);
+
+  /// Battery starting from explicit well contents (Fig. 9's scenarios).
+  KibamRmModel(workload::WorkloadModel workload,
+               battery::KibamParameters battery, double initial_available,
+               double initial_bound);
+
+  const workload::WorkloadModel& workload() const { return workload_; }
+  const battery::KibamParameters& battery() const { return battery_; }
+  double initial_available() const { return initial_available_; }
+  double initial_bound() const { return initial_bound_; }
+
+  /// Upper bounds for the two accumulated rewards: y1 never exceeds
+  /// c * (y1(0) + y2(0)) (all charge drawn into the available well), y2
+  /// never exceeds y2(0) (charge only ever leaves the bound well).
+  double available_upper_bound() const;
+  double bound_upper_bound() const { return initial_bound_; }
+
+  /// True if the bound well is degenerate (c = 1 or no initial bound
+  /// charge and no flow): only Y1 needs to be discretised then.
+  bool single_well() const;
+
+  /// Installs a charge-dependent workload-rate modifier (see RateModifier).
+  /// `bound` must dominate every value the modifier can return; it is used
+  /// by the simulator's thinning step and by generator validation.
+  void set_rate_modifier(RateModifier modifier, double bound = 1.0);
+  bool has_rate_modifier() const { return static_cast<bool>(modifier_); }
+  const RateModifier& rate_modifier() const { return modifier_; }
+  double rate_modifier_bound() const { return modifier_bound_; }
+
+ private:
+  workload::WorkloadModel workload_;
+  battery::KibamParameters battery_;
+  double initial_available_;
+  double initial_bound_;
+  RateModifier modifier_;
+  double modifier_bound_ = 1.0;
+};
+
+}  // namespace kibamrm::core

@@ -1,0 +1,50 @@
+#include "kibamrm/core/level_grid.hpp"
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::core {
+
+namespace {
+
+/// Rounds bound/delta to the nearest integer, requiring near-exact
+/// divisibility so levels line up with the physical charge bounds.
+std::size_t levels_for(double bound, double delta, const char* what) {
+  const double ratio = bound / delta;
+  const double rounded = std::round(ratio);
+  KIBAMRM_REQUIRE(std::abs(ratio - rounded) <= 1e-6 * (rounded + 1.0),
+                  std::string(what) +
+                      " must be an integer multiple of the step size delta");
+  return static_cast<std::size_t>(rounded);
+}
+
+/// Level of reward value a under the interval semantics (j Delta, (j+1)
+/// Delta], left-closed at 0.
+std::size_t level_of(double a, double delta, std::size_t max_level) {
+  if (a <= 0.0) return 0;
+  const double j = std::ceil(a / delta - 1e-9) - 1.0;
+  const auto level = j <= 0.0 ? std::size_t{0} : static_cast<std::size_t>(j);
+  return level > max_level ? max_level : level;
+}
+
+}  // namespace
+
+LevelGrid::LevelGrid(const KibamRmModel& model, double delta) : delta_(delta) {
+  KIBAMRM_REQUIRE(delta > 0.0, "discretisation step delta must be positive");
+  n_ = model.workload().state_count();
+
+  const bool single = model.single_well();
+  // With no flow between the wells, y1 cannot grow past its initial value;
+  // otherwise transfer can push it up to c * (y1(0) + y2(0)).
+  const double u1 =
+      single ? model.initial_available() : model.available_upper_bound();
+  l1_ = levels_for(u1, delta, "available-charge bound u1");
+  KIBAMRM_REQUIRE(l1_ >= 1, "delta too coarse: no available-charge levels");
+  l2_ = single ? 0 : levels_for(model.bound_upper_bound(), delta,
+                                "bound-charge bound u2");
+  j1_init_ = level_of(model.initial_available(), delta, l1_);
+  j2_init_ = l2_ == 0 ? 0 : level_of(model.initial_bound(), delta, l2_);
+}
+
+}  // namespace kibamrm::core

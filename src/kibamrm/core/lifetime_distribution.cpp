@@ -1,0 +1,97 @@
+#include "kibamrm/core/lifetime_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::core {
+
+LifetimeCurve::LifetimeCurve(std::vector<double> times,
+                             std::vector<double> probabilities,
+                             double monotonicity_tolerance)
+    : times_(std::move(times)), probs_(std::move(probabilities)) {
+  KIBAMRM_REQUIRE(!times_.empty(), "lifetime curve needs >= 1 point");
+  KIBAMRM_REQUIRE(times_.size() == probs_.size(),
+                  "lifetime curve: times/probabilities size mismatch");
+  KIBAMRM_REQUIRE(std::is_sorted(times_.begin(), times_.end()),
+                  "lifetime curve: times must be ascending");
+  double running_max = 0.0;
+  for (double p : probs_) {
+    KIBAMRM_REQUIRE(p >= -1e-9 && p <= 1.0 + 1e-9,
+                    "lifetime curve: probability out of [0,1]");
+    KIBAMRM_REQUIRE(p >= running_max - monotonicity_tolerance,
+                    "lifetime curve: CDF decreases beyond tolerance");
+    running_max = std::max(running_max, p);
+  }
+}
+
+double LifetimeCurve::probability_at(double t) const {
+  if (t <= times_.front()) {
+    return t == times_.front() ? probs_.front() : 0.0;
+  }
+  if (t >= times_.back()) return probs_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  if (span <= 0.0) return probs_[hi];
+  const double frac = (t - times_[lo]) / span;
+  return probs_[lo] + frac * (probs_[hi] - probs_[lo]);
+}
+
+double LifetimeCurve::quantile(double p) const {
+  KIBAMRM_REQUIRE(p >= 0.0 && p <= 1.0, "quantile level must lie in [0,1]");
+  if (probs_.front() >= p) return times_.front();
+  for (std::size_t i = 1; i < probs_.size(); ++i) {
+    if (probs_[i] >= p) {
+      const double rise = probs_[i] - probs_[i - 1];
+      if (rise <= 0.0) return times_[i];
+      const double frac = (p - probs_[i - 1]) / rise;
+      return times_[i - 1] + frac * (times_[i] - times_[i - 1]);
+    }
+  }
+  throw NumericalError(
+      "lifetime quantile: curve does not reach the requested level within "
+      "its time horizon");
+}
+
+double LifetimeCurve::mean_estimate() const {
+  // E[L] = integral of (1 - F); trapezoid over the grid, plus the initial
+  // rectangle [0, t_0] where the battery is (numerically) never empty.
+  double mean = times_.front() * (1.0 - 0.5 * probs_.front());
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    const double survival =
+        1.0 - 0.5 * (probs_[i] + probs_[i - 1]);
+    mean += survival * (times_[i] - times_[i - 1]);
+  }
+  return mean;
+}
+
+bool LifetimeCurve::complete(double tolerance) const {
+  return probs_.front() <= tolerance && probs_.back() >= 1.0 - tolerance;
+}
+
+double LifetimeCurve::max_difference(const LifetimeCurve& other) const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(probs_[i] - other.probability_at(times_[i])));
+  }
+  return worst;
+}
+
+std::vector<double> uniform_grid(double start, double end,
+                                 std::size_t points) {
+  KIBAMRM_REQUIRE(points >= 2, "uniform grid needs >= 2 points");
+  KIBAMRM_REQUIRE(end > start && start >= 0.0, "invalid grid range");
+  std::vector<double> grid(points);
+  const double step = (end - start) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    grid[i] = start + step * static_cast<double>(i);
+  }
+  grid.back() = end;
+  return grid;
+}
+
+}  // namespace kibamrm::core

@@ -1,0 +1,111 @@
+#include "kibamrm/core/simulator.hpp"
+
+#include "kibamrm/battery/kibam.hpp"
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::core {
+
+MonteCarloSimulator::MonteCarloSimulator(KibamRmModel model,
+                                         SimulationOptions options)
+    : model_(std::move(model)), options_(options) {
+  KIBAMRM_REQUIRE(options_.replications >= 1,
+                  "simulation needs >= 1 replication");
+  KIBAMRM_REQUIRE(options_.max_time > 0.0, "max_time must be positive");
+}
+
+double MonteCarloSimulator::sample_lifetime(common::RandomStream& rng) const {
+  const auto& workload = model_.workload();
+  const auto& chain = workload.chain();
+  const auto& generator = chain.generator();
+  const auto row_ptr = generator.row_pointers();
+  const auto col_idx = generator.column_indices();
+  const auto values = generator.values();
+  const bool adaptive = model_.has_rate_modifier();
+
+  battery::KibamBattery battery(model_.battery(), model_.initial_available(),
+                                model_.initial_bound());
+
+  // Draw the initial state.
+  std::size_t state = rng.discrete(workload.initial_distribution());
+
+  double elapsed = 0.0;
+  while (elapsed < options_.max_time) {
+    const double exit_rate = chain.exit_rate(state);
+    const double current = workload.current(state);
+
+    if (exit_rate <= 0.0) {
+      // Absorbing workload state: the battery drains (or survives) forever.
+      const auto crossing =
+          battery.advance(current, options_.max_time - elapsed);
+      if (crossing) return elapsed + *crossing;
+      break;
+    }
+
+    // With a charge-dependent rate modifier the transition rates vary
+    // continuously along the sojourn; sample the jump time by thinning
+    // against the bounding rate q_i * bound (exact for modifiers bounded
+    // by the registered bound).
+    const double bound_rate =
+        adaptive ? exit_rate * model_.rate_modifier_bound() : exit_rate;
+    const double sojourn = rng.exponential(bound_rate);
+    const double dt = std::min(sojourn, options_.max_time - elapsed);
+    const auto crossing = battery.advance(current, dt);
+    if (crossing) return elapsed + *crossing;
+    elapsed += dt;
+    if (dt < sojourn) break;  // horizon reached mid-sojourn
+
+    // Candidate jump: evaluate the (possibly charge-dependent) rates now.
+    std::vector<double> weights;
+    std::vector<std::size_t> targets;
+    double actual_total = 0.0;
+    for (std::uint32_t k = row_ptr[state]; k < row_ptr[state + 1]; ++k) {
+      if (col_idx[k] == state) continue;
+      double rate = values[k];
+      if (adaptive) {
+        rate *= model_.rate_modifier()(state, col_idx[k],
+                                       battery.available_charge(),
+                                       battery.bound_charge());
+      }
+      if (rate > 0.0) {
+        targets.push_back(col_idx[k]);
+        weights.push_back(rate);
+        actual_total += rate;
+      }
+    }
+    if (adaptive) {
+      // Thinning acceptance: with probability 1 - actual/bound this is a
+      // phantom event and the state is unchanged.
+      if (actual_total <= 0.0 ||
+          !rng.bernoulli(std::min(1.0, actual_total / bound_rate))) {
+        continue;
+      }
+    }
+    state = targets[rng.discrete(weights)];
+  }
+  throw NumericalError(
+      "simulation: battery survived past max_time; raise the horizon or "
+      "check the workload");
+}
+
+stats::EmpiricalDistribution MonteCarloSimulator::run() const {
+  std::vector<double> lifetimes;
+  lifetimes.reserve(options_.replications);
+  common::RandomStream rng(options_.seed);
+  for (std::size_t i = 0; i < options_.replications; ++i) {
+    common::RandomStream replication_rng = rng.split();
+    lifetimes.push_back(sample_lifetime(replication_rng));
+  }
+  return stats::EmpiricalDistribution(std::move(lifetimes));
+}
+
+LifetimeCurve MonteCarloSimulator::empty_probability_curve(
+    const std::vector<double>& times) const {
+  const stats::EmpiricalDistribution dist = run();
+  std::vector<double> probs(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    probs[i] = dist.cdf(times[i]);
+  }
+  return LifetimeCurve(times, std::move(probs));
+}
+
+}  // namespace kibamrm::core

@@ -1,0 +1,45 @@
+// Aligned text tables and CSV output for the bench/example binaries.
+//
+// The bench harness prints each reproduced paper table/figure as an aligned
+// text table on stdout and can mirror the same rows into a CSV file for
+// plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kibamrm::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.  (Named
+  /// distinctly from add_row to keep brace-initialised string rows
+  /// unambiguous.)
+  void add_numeric_row(const std::vector<double>& cells, int precision = 4);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Writes an aligned text rendering (header, rule, rows).
+  void print(std::ostream& out) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& out) const;
+
+  /// Writes CSV to a file path; throws Error on I/O failure.
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for mixed-type rows).
+std::string format_double(double value, int precision = 4);
+
+}  // namespace kibamrm::io

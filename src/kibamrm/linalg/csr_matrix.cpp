@@ -1,0 +1,169 @@
+#include "kibamrm/linalg/csr_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/vector_ops.hpp"
+
+namespace kibamrm::linalg {
+
+CooBuilder::CooBuilder(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  KIBAMRM_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  KIBAMRM_REQUIRE(rows <= std::numeric_limits<std::uint32_t>::max() &&
+                      cols <= std::numeric_limits<std::uint32_t>::max(),
+                  "matrix dimensions exceed 32-bit index range");
+}
+
+void CooBuilder::add(std::size_t row, std::size_t col, double value) {
+  KIBAMRM_REQUIRE(row < rows_ && col < cols_, "triplet out of bounds");
+  if (value == 0.0) return;
+  triplets_.push_back({static_cast<std::uint32_t>(row),
+                       static_cast<std::uint32_t>(col), value});
+}
+
+CsrMatrix CooBuilder::build() {
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix result(rows_, cols_);
+  result.row_ptr_.assign(rows_ + 1, 0);
+  result.col_idx_.reserve(triplets_.size());
+  result.values_.reserve(triplets_.size());
+
+  std::size_t i = 0;
+  for (std::size_t row = 0; row < rows_; ++row) {
+    while (i < triplets_.size() && triplets_[i].row == row) {
+      const std::uint32_t col = triplets_[i].col;
+      double value = 0.0;
+      while (i < triplets_.size() && triplets_[i].row == row &&
+             triplets_[i].col == col) {
+        value += triplets_[i].value;
+        ++i;
+      }
+      if (value != 0.0) {
+        result.col_idx_.push_back(col);
+        result.values_.push_back(value);
+      }
+    }
+    result.row_ptr_[row + 1] = static_cast<std::uint32_t>(
+        result.col_idx_.size());
+  }
+
+  triplets_.clear();
+  triplets_.shrink_to_fit();
+  return result;
+}
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {
+  KIBAMRM_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+void CsrMatrix::multiply(const std::vector<double>& x,
+                         std::vector<double>& out) const {
+  KIBAMRM_REQUIRE(x.size() == cols_, "multiply: dimension mismatch");
+  out.assign(rows_, 0.0);
+  for (std::size_t row = 0; row < rows_; ++row) {
+    double acc = 0.0;
+    for (std::uint32_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    out[row] = acc;
+  }
+}
+
+void CsrMatrix::left_multiply(const std::vector<double>& pi,
+                              std::vector<double>& out) const {
+  KIBAMRM_REQUIRE(pi.size() == rows_, "left_multiply: dimension mismatch");
+  out.assign(cols_, 0.0);
+  for (std::size_t row = 0; row < rows_; ++row) {
+    const double p = pi[row];
+    if (p == 0.0) continue;  // transient vectors are mostly sparse early on
+    for (std::uint32_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      out[col_idx_[k]] += p * values_[k];
+    }
+  }
+}
+
+std::vector<double> CsrMatrix::row_sums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (std::size_t row = 0; row < rows_; ++row) {
+    double acc = 0.0;
+    for (std::uint32_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      acc += values_[k];
+    }
+    sums[row] = acc;
+  }
+  return sums;
+}
+
+double CsrMatrix::at(std::size_t row, std::size_t col) const {
+  KIBAMRM_REQUIRE(row < rows_ && col < cols_, "at: index out of bounds");
+  const auto begin = col_idx_.begin() + row_ptr_[row];
+  const auto end = col_idx_.begin() + row_ptr_[row + 1];
+  const auto it = std::lower_bound(begin, end, static_cast<std::uint32_t>(col));
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+CsrMatrix CsrMatrix::scaled(double alpha) const {
+  CsrMatrix result = *this;
+  for (double& v : result.values_) v *= alpha;
+  return result;
+}
+
+double CsrMatrix::max_exit_rate() const {
+  KIBAMRM_REQUIRE(rows_ == cols_, "max_exit_rate: matrix must be square");
+  double worst = 0.0;
+  for (std::size_t row = 0; row < rows_; ++row) {
+    worst = std::max(worst, -at(row, row));
+  }
+  return worst;
+}
+
+CsrMatrix CsrMatrix::uniformized(double q) const {
+  KIBAMRM_REQUIRE(rows_ == cols_, "uniformized: matrix must be square");
+  KIBAMRM_REQUIRE(q > 0.0, "uniformisation rate must be positive");
+  const double max_exit = max_exit_rate();
+  KIBAMRM_REQUIRE(q * (1.0 + 1e-12) >= max_exit,
+                  "uniformisation rate below the maximal exit rate");
+
+  // P = I + Q/q.  The diagonal of Q may be absent in the sparsity pattern
+  // (isolated/absorbing states), so rebuild through a COO pass.
+  CooBuilder builder(rows_, cols_);
+  builder.reserve(nonzeros() + rows_);
+  for (std::size_t row = 0; row < rows_; ++row) {
+    builder.add(row, row, 1.0);
+    for (std::uint32_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      builder.add(row, col_idx_[k], values_[k] / q);
+    }
+  }
+  CsrMatrix p = builder.build();
+  // Clamp diagonal round-off: entries must stay within [0, 1].
+  for (std::size_t row = 0; row < p.rows_; ++row) {
+    for (std::uint32_t k = p.row_ptr_[row]; k < p.row_ptr_[row + 1]; ++k) {
+      if (p.col_idx_[k] == row) {
+        p.values_[k] = std::clamp(p.values_[k], 0.0, 1.0);
+      }
+    }
+  }
+  return p;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CooBuilder builder(cols_, rows_);
+  builder.reserve(nonzeros());
+  for (std::size_t row = 0; row < rows_; ++row) {
+    for (std::uint32_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      builder.add(col_idx_[k], row, values_[k]);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace kibamrm::linalg

@@ -1,0 +1,114 @@
+// Compressed sparse row matrices and a coordinate-format builder.
+//
+// The Markovian approximation of Sec. 5 produces CTMC generators with up to
+// millions of non-zeros; CSR with contiguous storage is the workhorse format
+// for the repeated vector-matrix products of uniformisation.
+//
+// Probability vectors are row vectors, so the hot kernel is the *left*
+// product  out = pi * A  (CsrMatrix::left_multiply), implemented as a scatter
+// over rows: for each i, out[j] += pi[i] * A(i,j).  This walks A exactly once
+// in storage order, which is as cache-friendly as CSR allows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kibamrm::linalg {
+
+/// One (row, col, value) entry of a matrix under construction.
+struct Triplet {
+  std::uint32_t row;
+  std::uint32_t col;
+  double value;
+};
+
+class CsrMatrix;
+
+/// Accumulates (row, col, value) triplets, then compresses to CSR.
+/// Duplicate coordinates are summed, zeros dropped.
+class CooBuilder {
+ public:
+  CooBuilder(std::size_t rows, std::size_t cols);
+
+  /// Adds `value` at (row, col).  Bounds-checked.
+  void add(std::size_t row, std::size_t col, double value);
+
+  /// Number of triplets accumulated so far (before duplicate merging).
+  std::size_t entry_count() const { return triplets_.size(); }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Reserves triplet storage (an exact-size reserve avoids re-allocation
+  /// spikes when building multi-million-entry generators).
+  void reserve(std::size_t n) { triplets_.reserve(n); }
+
+  /// Sorts, merges duplicates, drops explicit zeros and builds the CSR
+  /// matrix.  The builder is left empty afterwards.
+  CsrMatrix build();
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Triplet> triplets_;
+};
+
+/// Immutable compressed-sparse-row matrix.
+class CsrMatrix {
+ public:
+  /// Empty matrix of the given shape.
+  CsrMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// out = A * x  (column vector on the right).
+  void multiply(const std::vector<double>& x, std::vector<double>& out) const;
+
+  /// out = pi * A  (row vector on the left).  This is the uniformisation
+  /// kernel; `out` is overwritten.
+  void left_multiply(const std::vector<double>& pi,
+                     std::vector<double>& out) const;
+
+  /// Per-row sums (for generator validation: rows of Q must sum to ~0).
+  std::vector<double> row_sums() const;
+
+  /// Entry lookup by binary search within the row; O(log nnz_row).
+  double at(std::size_t row, std::size_t col) const;
+
+  /// Returns a copy scaled by alpha.
+  CsrMatrix scaled(double alpha) const;
+
+  /// Maximum over rows of the negated diagonal entry, max_i(-A(i,i)).
+  /// For a generator matrix this is the minimal uniformisation rate.
+  double max_exit_rate() const;
+
+  /// Builds the uniformised transition-probability matrix
+  /// P = I + Q / q for a generator Q and uniformisation rate q >=
+  /// max_exit_rate().  Diagonal entries are clamped to [0,1] against
+  /// round-off.  Throws InvalidArgument if q is too small or the matrix is
+  /// not square.
+  CsrMatrix uniformized(double q) const;
+
+  /// Raw structure accessors (read-only views) for kernels and tests.
+  std::span<const std::uint32_t> row_pointers() const { return row_ptr_; }
+  std::span<const std::uint32_t> column_indices() const { return col_idx_; }
+  std::span<const double> values() const { return values_; }
+
+  /// Transposed copy (used to express backward equations and in tests).
+  CsrMatrix transposed() const;
+
+ private:
+  friend class CooBuilder;
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::uint32_t> row_ptr_;  // size rows_+1
+  std::vector<std::uint32_t> col_idx_;  // size nnz
+  std::vector<double> values_;          // size nnz
+};
+
+}  // namespace kibamrm::linalg

@@ -1,0 +1,158 @@
+// Small dense matrices (real and complex) with the handful of operations the
+// exact transform solver needs: multiply, add, scale, LU solve, 1-norm.
+//
+// Workload CTMCs in this library are tiny (2-6 states for the paper's
+// models), so these are simple O(n^3) routines with no blocking; clarity and
+// numerical robustness (partial pivoting) over speed.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::linalg {
+
+/// Row-major dense matrix over double or std::complex<double>.
+template <typename Scalar>
+class Dense {
+ public:
+  Dense() : rows_(0), cols_(0) {}
+  Dense(std::size_t rows, std::size_t cols, Scalar init = Scalar{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  static Dense identity(std::size_t n) {
+    Dense m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = Scalar{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Scalar& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  const Scalar& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  Dense operator*(const Dense& other) const {
+    KIBAMRM_REQUIRE(cols_ == other.rows_, "dense multiply: shape mismatch");
+    Dense out(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const Scalar a = (*this)(i, k);
+        if (a == Scalar{}) continue;
+        for (std::size_t j = 0; j < other.cols_; ++j) {
+          out(i, j) += a * other(k, j);
+        }
+      }
+    }
+    return out;
+  }
+
+  Dense operator+(const Dense& other) const {
+    KIBAMRM_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                    "dense add: shape mismatch");
+    Dense out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+    return out;
+  }
+
+  Dense operator-(const Dense& other) const {
+    KIBAMRM_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                    "dense subtract: shape mismatch");
+    Dense out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+    return out;
+  }
+
+  Dense scaled(Scalar alpha) const {
+    Dense out = *this;
+    for (auto& x : out.data_) x *= alpha;
+    return out;
+  }
+
+  /// Maximum absolute column sum (the induced 1-norm).
+  double norm1() const {
+    double worst = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      double colsum = 0.0;
+      for (std::size_t i = 0; i < rows_; ++i) {
+        colsum += std::abs((*this)(i, j));
+      }
+      worst = worst < colsum ? colsum : worst;
+    }
+    return worst;
+  }
+
+  /// row vector * matrix.
+  std::vector<Scalar> left_multiply(const std::vector<Scalar>& v) const {
+    KIBAMRM_REQUIRE(v.size() == rows_, "dense left_multiply: shape mismatch");
+    std::vector<Scalar> out(cols_, Scalar{});
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const Scalar p = v[i];
+      if (p == Scalar{}) continue;
+      for (std::size_t j = 0; j < cols_; ++j) out[j] += p * (*this)(i, j);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Scalar> data_;
+};
+
+using DenseReal = Dense<double>;
+using DenseComplex = Dense<std::complex<double>>;
+
+/// Solves A X = B in place of B via LU with partial pivoting; A is consumed.
+/// Throws NumericalError on (numerically) singular A.
+template <typename Scalar>
+Dense<Scalar> lu_solve(Dense<Scalar> a, Dense<Scalar> b) {
+  KIBAMRM_REQUIRE(a.rows() == a.cols(), "lu_solve: A must be square");
+  KIBAMRM_REQUIRE(a.rows() == b.rows(), "lu_solve: shape mismatch");
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot on the largest magnitude entry in this column.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(a(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (!(best > 0.0)) {
+      throw NumericalError("lu_solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
+      for (std::size_t j = 0; j < m; ++j) std::swap(b(col, j), b(pivot, j));
+    }
+    const Scalar inv = Scalar{1} / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const Scalar factor = a(r, col) * inv;
+      if (factor == Scalar{}) continue;
+      for (std::size_t j = col; j < n; ++j) a(r, j) -= factor * a(col, j);
+      for (std::size_t j = 0; j < m; ++j) b(r, j) -= factor * b(col, j);
+    }
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    const Scalar inv = Scalar{1} / a(ri, ri);
+    for (std::size_t j = 0; j < m; ++j) {
+      Scalar acc = b(ri, j);
+      for (std::size_t k = ri + 1; k < n; ++k) acc -= a(ri, k) * b(k, j);
+      b(ri, j) = acc * inv;
+    }
+  }
+  return b;
+}
+
+}  // namespace kibamrm::linalg

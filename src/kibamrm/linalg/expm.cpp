@@ -1,0 +1,67 @@
+#include "kibamrm/linalg/expm.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace kibamrm::linalg {
+
+namespace {
+
+// Pade-13 coefficients from Higham (2005), Table 10.4 machinery.
+constexpr std::array<double, 14> kPade13 = {
+    64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+    1187353796428800.0,  129060195264000.0,   10559470521600.0,
+    670442572800.0,      33522128640.0,       1323241920.0,
+    40840800.0,          960960.0,            16380.0,
+    182.0,               1.0};
+
+// theta_13: scale until norm1(A) <= theta to keep the Pade error below
+// machine epsilon.
+constexpr double kTheta13 = 5.371920351148152;
+
+template <typename Scalar>
+Dense<Scalar> expm_impl(const Dense<Scalar>& a_in) {
+  KIBAMRM_REQUIRE(a_in.rows() == a_in.cols(), "expm: matrix must be square");
+  const std::size_t n = a_in.rows();
+
+  Dense<Scalar> a = a_in;
+  int squarings = 0;
+  const double norm = a.norm1();
+  if (norm > kTheta13) {
+    squarings = static_cast<int>(std::ceil(std::log2(norm / kTheta13)));
+    a = a.scaled(Scalar{1} / Scalar(std::ldexp(1.0, squarings)));
+  }
+
+  // Pade-13: U = A (b13 A6^2 + b11 A6 A4? ...) -- use the standard grouping:
+  //   A2 = A^2, A4 = A2^2, A6 = A2 A4
+  //   U = A * (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
+  //   V =      A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
+  //   expm(A) ~= (V - U)^{-1} (V + U)
+  const Dense<Scalar> eye = Dense<Scalar>::identity(n);
+  const Dense<Scalar> a2 = a * a;
+  const Dense<Scalar> a4 = a2 * a2;
+  const Dense<Scalar> a6 = a2 * a4;
+
+  const auto b = [](int i) { return Scalar(kPade13[static_cast<std::size_t>(i)]); };
+
+  Dense<Scalar> w1 = a6.scaled(b(13)) + a4.scaled(b(11)) + a2.scaled(b(9));
+  Dense<Scalar> w2 =
+      a6.scaled(b(7)) + a4.scaled(b(5)) + a2.scaled(b(3)) + eye.scaled(b(1));
+  Dense<Scalar> u = a * (a6 * w1 + w2);
+
+  Dense<Scalar> z1 = a6.scaled(b(12)) + a4.scaled(b(10)) + a2.scaled(b(8));
+  Dense<Scalar> v =
+      a6 * z1 + a6.scaled(b(6)) + a4.scaled(b(4)) + a2.scaled(b(2)) +
+      eye.scaled(b(0));
+
+  Dense<Scalar> result = lu_solve(v - u, v + u);
+  for (int i = 0; i < squarings; ++i) result = result * result;
+  return result;
+}
+
+}  // namespace
+
+DenseReal expm(const DenseReal& a) { return expm_impl(a); }
+DenseComplex expm(const DenseComplex& a) { return expm_impl(a); }
+
+}  // namespace kibamrm::linalg

@@ -1,0 +1,21 @@
+// Matrix exponential for small dense matrices.
+//
+// Scaling-and-squaring with the degree-13 Pade approximant (Higham 2005,
+// "The scaling and squaring method for the matrix exponential revisited").
+// This is exactly the algorithm behind expm in MATLAB/SciPy.  We need the
+// complex variant because the exact battery-lifetime solver evaluates
+// exp(t (Q - s R)) on the Bromwich contour, where s is complex
+// (see core/exact_c1.hpp).
+#pragma once
+
+#include "kibamrm/linalg/dense_matrix.hpp"
+
+namespace kibamrm::linalg {
+
+/// exp(A) for a real square matrix.
+DenseReal expm(const DenseReal& a);
+
+/// exp(A) for a complex square matrix.
+DenseComplex expm(const DenseComplex& a);
+
+}  // namespace kibamrm::linalg

@@ -1,0 +1,94 @@
+#include "kibamrm/markov/ctmc.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::markov {
+
+Ctmc::Ctmc(linalg::CsrMatrix generator, double row_sum_tolerance)
+    : generator_(std::move(generator)) {
+  if (generator_.rows() != generator_.cols()) {
+    throw ModelError("CTMC generator must be square");
+  }
+  const auto row_ptr = generator_.row_pointers();
+  const auto col_idx = generator_.column_indices();
+  const auto values = generator_.values();
+  for (std::size_t row = 0; row < generator_.rows(); ++row) {
+    double row_sum = 0.0;
+    double exit = 0.0;
+    for (std::uint32_t k = row_ptr[row]; k < row_ptr[row + 1]; ++k) {
+      const double v = values[k];
+      row_sum += v;
+      if (col_idx[k] == row) {
+        if (v > 0.0) {
+          std::ostringstream msg;
+          msg << "CTMC generator has positive diagonal at state " << row;
+          throw ModelError(msg.str());
+        }
+        exit = -v;
+      } else if (v < 0.0) {
+        std::ostringstream msg;
+        msg << "CTMC generator has negative rate at (" << row << ", "
+            << col_idx[k] << "): " << v;
+        throw ModelError(msg.str());
+      }
+    }
+    const double scale = exit > 1.0 ? exit : 1.0;
+    if (std::abs(row_sum) > row_sum_tolerance * scale) {
+      std::ostringstream msg;
+      msg << "CTMC generator row " << row << " sums to " << row_sum
+          << " (expected 0)";
+      throw ModelError(msg.str());
+    }
+    max_exit_rate_ = std::max(max_exit_rate_, exit);
+  }
+}
+
+double Ctmc::exit_rate(std::size_t state) const {
+  KIBAMRM_REQUIRE(state < state_count(), "exit_rate: state out of range");
+  return -generator_.at(state, state);
+}
+
+bool Ctmc::is_absorbing(std::size_t state) const {
+  KIBAMRM_REQUIRE(state < state_count(), "is_absorbing: state out of range");
+  const auto row_ptr = generator_.row_pointers();
+  return row_ptr[state] == row_ptr[state + 1];
+}
+
+linalg::DenseReal Ctmc::dense_generator() const {
+  const std::size_t n = state_count();
+  linalg::DenseReal dense(n, n);
+  const auto row_ptr = generator_.row_pointers();
+  const auto col_idx = generator_.column_indices();
+  const auto values = generator_.values();
+  for (std::size_t row = 0; row < n; ++row) {
+    for (std::uint32_t k = row_ptr[row]; k < row_ptr[row + 1]; ++k) {
+      dense(row, col_idx[k]) = values[k];
+    }
+  }
+  return dense;
+}
+
+Ctmc ctmc_from_rates(const std::vector<std::vector<double>>& rates) {
+  const std::size_t n = rates.size();
+  KIBAMRM_REQUIRE(n > 0, "ctmc_from_rates: empty rate table");
+  linalg::CooBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    KIBAMRM_REQUIRE(rates[i].size() == n,
+                    "ctmc_from_rates: rate table must be square");
+    double exit = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (rates[i][j] != 0.0) {
+        builder.add(i, j, rates[i][j]);
+        exit += rates[i][j];
+      }
+    }
+    if (exit != 0.0) builder.add(i, i, -exit);
+  }
+  return Ctmc(builder.build());
+}
+
+}  // namespace kibamrm::markov

@@ -1,0 +1,51 @@
+// Continuous-time Markov chains: generator validation and basic queries.
+//
+// A Ctmc wraps a sparse infinitesimal generator Q (Sec. 4.1 of the paper):
+// off-diagonal entries q_ij >= 0 are transition rates, diagonal entries are
+// the negated exit rates, and every row sums to zero.  Absorbing states have
+// an all-zero row.  Construction validates all of this once so the solvers
+// can assume a well-formed chain.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kibamrm/linalg/csr_matrix.hpp"
+#include "kibamrm/linalg/dense_matrix.hpp"
+
+namespace kibamrm::markov {
+
+class Ctmc {
+ public:
+  /// Validates and adopts a generator matrix.
+  /// Throws ModelError if Q is not square, has a negative off-diagonal
+  /// entry, a positive diagonal entry, or a row sum away from zero by more
+  /// than `row_sum_tolerance` (relative to the row's exit rate).
+  explicit Ctmc(linalg::CsrMatrix generator, double row_sum_tolerance = 1e-9);
+
+  std::size_t state_count() const { return generator_.rows(); }
+  const linalg::CsrMatrix& generator() const { return generator_; }
+
+  /// Exit rate of a state, -Q(i,i).
+  double exit_rate(std::size_t state) const;
+
+  /// Maximal exit rate over all states (lower bound for uniformisation).
+  double max_exit_rate() const { return max_exit_rate_; }
+
+  /// True iff state i has an all-zero row (no outgoing transitions).
+  bool is_absorbing(std::size_t state) const;
+
+  /// Dense copy of the generator (for the small-matrix exact solvers).
+  linalg::DenseReal dense_generator() const;
+
+ private:
+  linalg::CsrMatrix generator_;
+  double max_exit_rate_ = 0.0;
+};
+
+/// Builds a CTMC from a dense rate specification: `rates[i][j]` is the
+/// transition rate i -> j (diagonal ignored); diagonals are derived.
+/// Convenience for the small hand-written workload models and tests.
+Ctmc ctmc_from_rates(const std::vector<std::vector<double>>& rates);
+
+}  // namespace kibamrm::markov

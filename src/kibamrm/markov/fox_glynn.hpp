@@ -1,0 +1,51 @@
+// Truncated Poisson weights for uniformisation (Fox & Glynn, 1988).
+//
+// Uniformisation expresses the transient distribution of a CTMC as a
+// Poisson-weighted sum of DTMC powers:
+//     pi(t) = sum_n  Pois(q t; n) * pi(0) P^n.
+// This module computes the truncation window [left, right] and the weights
+// Pois(lambda; n), n in [left, right], such that the dropped probability
+// mass is below a caller-supplied epsilon.
+//
+// The implementation recurses outward from the mode (where the pmf peaks) in
+// scaled arithmetic, then normalises; this avoids the catastrophic underflow
+// of starting the classic recursion at e^{-lambda} for lambda beyond ~700.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kibamrm::markov {
+
+/// Truncated Poisson distribution: weights[i] approximates
+/// Pois(lambda; left + i), and sum(weights) == 1 after normalisation.
+struct PoissonWindow {
+  std::uint64_t left = 0;
+  std::uint64_t right = 0;
+  std::vector<double> weights;
+
+  std::size_t size() const { return weights.size(); }
+
+  /// Weight of n, or 0 outside the window.
+  double weight(std::uint64_t n) const {
+    if (n < left || n > right) return 0.0;
+    return weights[static_cast<std::size_t>(n - left)];
+  }
+};
+
+/// Computes the truncation window for Poisson(lambda) with total dropped
+/// mass at most epsilon (split between both tails).  lambda == 0 yields the
+/// degenerate window {0} with weight 1.  Throws InvalidArgument for negative
+/// lambda or epsilon outside (0, 1).
+PoissonWindow fox_glynn(double lambda, double epsilon);
+
+/// Poisson pmf Pois(lambda; n), computed in log space (accurate for large
+/// lambda and n; used for cross-checking the window in tests).
+double poisson_pmf(double lambda, std::uint64_t n);
+
+/// Upper tail Pr{Poisson(lambda) >= n}.  This equals the Erlang-n CDF at
+/// lambda = rate * t and is used to validate the Erlang workload models.
+double poisson_tail(double lambda, std::uint64_t n);
+
+}  // namespace kibamrm::markov

@@ -1,0 +1,130 @@
+#include "kibamrm/markov/phase_type.hpp"
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/expm.hpp"
+#include "kibamrm/markov/fox_glynn.hpp"
+
+namespace kibamrm::markov {
+
+PhaseType::PhaseType(std::vector<double> alpha,
+                     linalg::DenseReal sub_generator)
+    : alpha_(std::move(alpha)), t_(std::move(sub_generator)) {
+  const std::size_t n = alpha_.size();
+  KIBAMRM_REQUIRE(n > 0, "phase-type needs at least one phase");
+  KIBAMRM_REQUIRE(t_.rows() == n && t_.cols() == n,
+                  "phase-type sub-generator shape mismatch");
+  double alpha_sum = 0.0;
+  for (double a : alpha_) {
+    KIBAMRM_REQUIRE(a >= 0.0, "phase-type alpha must be non-negative");
+    alpha_sum += a;
+  }
+  KIBAMRM_REQUIRE(alpha_sum <= 1.0 + 1e-12,
+                  "phase-type alpha must sum to at most 1");
+  exit_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        KIBAMRM_REQUIRE(t_(i, j) >= 0.0,
+                        "phase-type off-diagonal rates must be >= 0");
+      }
+      row_sum += t_(i, j);
+    }
+    KIBAMRM_REQUIRE(row_sum <= 1e-9,
+                    "phase-type sub-generator rows must sum to <= 0");
+    exit_[i] = -row_sum;
+    if (exit_[i] < 0.0) exit_[i] = 0.0;
+  }
+}
+
+double PhaseType::cdf(double t) const {
+  KIBAMRM_REQUIRE(t >= 0.0, "phase-type cdf: t must be >= 0");
+  const linalg::DenseReal e = linalg::expm(t_.scaled(t));
+  const std::vector<double> row = e.left_multiply(alpha_);
+  double survival = 0.0;
+  for (double x : row) survival += x;
+  return 1.0 - survival;
+}
+
+double PhaseType::pdf(double t) const {
+  KIBAMRM_REQUIRE(t >= 0.0, "phase-type pdf: t must be >= 0");
+  const linalg::DenseReal e = linalg::expm(t_.scaled(t));
+  const std::vector<double> row = e.left_multiply(alpha_);
+  double density = 0.0;
+  for (std::size_t i = 0; i < row.size(); ++i) density += row[i] * exit_[i];
+  return density;
+}
+
+double PhaseType::mean() const {
+  // Solve m = -T^{-1} 1 (mean absorption time from each phase), then dot
+  // with alpha.
+  const std::size_t n = phases();
+  linalg::DenseReal rhs(n, 1, -1.0);
+  linalg::DenseReal m = linalg::lu_solve(t_, rhs);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += alpha_[i] * m(i, 0);
+  return mean;
+}
+
+double PhaseType::sample(common::RandomStream& rng) const {
+  // Choose the starting phase (or immediate absorption on the alpha
+  // deficit), then walk the phase process.
+  double alpha_sum = 0.0;
+  for (double a : alpha_) alpha_sum += a;
+  if (!rng.bernoulli(alpha_sum > 1.0 ? 1.0 : alpha_sum)) return 0.0;
+
+  std::vector<double> weights = alpha_;
+  std::size_t phase = rng.discrete(weights);
+  double time = 0.0;
+  const std::size_t n = phases();
+  while (true) {
+    std::vector<double> out(n + 1, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != phase) out[j] = t_(phase, j);
+    }
+    out[n] = exit_[phase];
+    const double rate = -t_(phase, phase);
+    if (!(rate > 0.0)) {
+      throw NumericalError("phase-type sample: phase with zero exit rate");
+    }
+    time += rng.exponential(rate);
+    const std::size_t next = rng.discrete(out);
+    if (next == n) return time;
+    phase = next;
+  }
+}
+
+PhaseType PhaseType::erlang(int k, double rate) {
+  KIBAMRM_REQUIRE(k >= 1, "Erlang shape must be >= 1");
+  KIBAMRM_REQUIRE(rate > 0.0, "Erlang rate must be positive");
+  const auto n = static_cast<std::size_t>(k);
+  std::vector<double> alpha(n, 0.0);
+  alpha[0] = 1.0;
+  linalg::DenseReal t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t(i, i) = -rate;
+    if (i + 1 < n) t(i, i + 1) = rate;
+  }
+  return PhaseType(std::move(alpha), std::move(t));
+}
+
+PhaseType PhaseType::exponential(double rate) { return erlang(1, rate); }
+
+double erlang_cdf(int k, double rate, double t) {
+  KIBAMRM_REQUIRE(k >= 1, "Erlang shape must be >= 1");
+  KIBAMRM_REQUIRE(rate > 0.0, "Erlang rate must be positive");
+  if (t <= 0.0) return 0.0;
+  return poisson_tail(rate * t, static_cast<std::uint64_t>(k));
+}
+
+double erlang_mean(int k, double rate) {
+  return static_cast<double>(k) / rate;
+}
+
+double erlang_variance(int k, double rate) {
+  return static_cast<double>(k) / (rate * rate);
+}
+
+}  // namespace kibamrm::markov

@@ -1,0 +1,71 @@
+// Phase-type distributions.
+//
+// The Markovian approximation of Sec. 5 replaces the battery lifetime by the
+// absorption time of a finite CTMC, i.e. by a phase-type (PH) distribution.
+// This module provides a small PH toolkit: construction from an initial
+// vector and sub-generator, CDF/pdf/mean evaluation, Erlang distributions as
+// the special case used by the on/off workload (Sec. 4.3), and sampling.
+//
+// The CDF is evaluated with the dense matrix exponential for small
+// representations and is primarily used in tests, to cross-check the sparse
+// uniformisation machinery against an independent implementation.
+#pragma once
+
+#include <vector>
+
+#include "kibamrm/common/random.hpp"
+#include "kibamrm/linalg/dense_matrix.hpp"
+
+namespace kibamrm::markov {
+
+/// Continuous phase-type distribution PH(alpha, T) where T is the
+/// sub-generator over transient states and absorption happens at rate
+/// t0 = -T 1 (row deficit).
+class PhaseType {
+ public:
+  /// alpha: initial probabilities over transient states (may sum to < 1;
+  /// the deficit is an atom at 0).  T: sub-generator with non-negative
+  /// off-diagonals and non-positive row sums.
+  PhaseType(std::vector<double> alpha, linalg::DenseReal sub_generator);
+
+  std::size_t phases() const { return alpha_.size(); }
+
+  /// Pr{X <= t}; 1 - alpha * exp(T t) * 1.
+  double cdf(double t) const;
+
+  /// Density at t: alpha * exp(T t) * t0.
+  double pdf(double t) const;
+
+  /// Mean: -alpha T^{-1} 1.
+  double mean() const;
+
+  /// Samples one absorption time by simulating the phase process.
+  double sample(common::RandomStream& rng) const;
+
+  const std::vector<double>& alpha() const { return alpha_; }
+  const linalg::DenseReal& sub_generator() const { return t_; }
+
+  /// Erlang-k with the given rate as a PH distribution.
+  static PhaseType erlang(int k, double rate);
+
+  /// Exponential with the given rate as a PH distribution.
+  static PhaseType exponential(double rate);
+
+ private:
+  std::vector<double> alpha_;
+  linalg::DenseReal t_;
+  std::vector<double> exit_;  // absorption rates t0
+};
+
+/// Erlang-k CDF evaluated directly through the Poisson tail identity
+/// Pr{Erlang_k(rate) <= t} = Pr{Poisson(rate*t) >= k}; numerically robust
+/// for the very large k that appear in Sec. 6.1 (k = 15000).
+double erlang_cdf(int k, double rate, double t);
+
+/// Erlang-k mean, k / rate.
+double erlang_mean(int k, double rate);
+
+/// Erlang-k variance, k / rate^2.
+double erlang_variance(int k, double rate);
+
+}  // namespace kibamrm::markov

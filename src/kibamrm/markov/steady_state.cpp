@@ -1,0 +1,53 @@
+#include "kibamrm/markov/steady_state.hpp"
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/vector_ops.hpp"
+
+namespace kibamrm::markov {
+
+std::vector<double> steady_state(const Ctmc& chain,
+                                 SteadyStateOptions options) {
+  const std::size_t n = chain.state_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (chain.is_absorbing(i)) {
+      throw NumericalError(
+          "steady_state: chain has an absorbing state; stationary "
+          "distribution is degenerate");
+    }
+  }
+
+  // Column access: Q^T stores incoming rates contiguously per state.
+  const linalg::CsrMatrix qt = chain.generator().transposed();
+  const auto row_ptr = qt.row_pointers();
+  const auto col_idx = qt.column_indices();
+  const auto values = qt.values();
+
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    double worst_change = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double incoming = 0.0;
+      double exit = 0.0;
+      for (std::uint32_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        if (col_idx[k] == i) {
+          exit = -values[k];
+        } else {
+          incoming += pi[col_idx[k]] * values[k];
+        }
+      }
+      KIBAMRM_REQUIRE(exit > 0.0, "steady_state: zero exit rate");
+      const double updated = incoming / exit;
+      worst_change = std::max(worst_change, std::abs(updated - pi[i]));
+      pi[i] = updated;
+    }
+    linalg::normalize_probability(pi);
+    if (worst_change < options.tolerance) {
+      return pi;
+    }
+  }
+  throw NumericalError("steady_state: Gauss-Seidel did not converge");
+}
+
+}  // namespace kibamrm::markov

@@ -1,0 +1,28 @@
+// Steady-state distributions of irreducible CTMCs.
+//
+// Solves pi Q = 0, sum(pi) = 1 by Gauss-Seidel sweeps over the normal
+// equations pi_i = (sum_{j != i} pi_j q_{ji}) / q_i.  The workload chains of
+// the paper are small and irreducible, so this converges in a handful of
+// sweeps; the solver is used to verify the paper's calibration that the
+// burst model spends the same steady-state fraction of time sending as the
+// simple model (lambda_burst = 182/h, Sec. 4.3).
+#pragma once
+
+#include <vector>
+
+#include "kibamrm/markov/ctmc.hpp"
+
+namespace kibamrm::markov {
+
+struct SteadyStateOptions {
+  double tolerance = 1e-12;  // l_inf change per sweep at convergence
+  int max_sweeps = 100000;
+};
+
+/// Computes the stationary distribution of an irreducible CTMC.
+/// Throws NumericalError if the iteration does not converge (e.g. the chain
+/// has an absorbing state, which has no interesting steady state here).
+std::vector<double> steady_state(const Ctmc& chain,
+                                 SteadyStateOptions options = {});
+
+}  // namespace kibamrm::markov

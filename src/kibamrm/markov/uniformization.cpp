@@ -1,0 +1,93 @@
+#include "kibamrm/markov/uniformization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/vector_ops.hpp"
+#include "kibamrm/markov/fox_glynn.hpp"
+
+namespace kibamrm::markov {
+
+TransientSolver::TransientSolver(const Ctmc& chain, TransientOptions options)
+    : chain_(chain),
+      options_(options),
+      p_(1, 1),
+      rate_(options.uniformization_rate) {
+  KIBAMRM_REQUIRE(options_.epsilon > 0.0 && options_.epsilon < 1.0,
+                  "transient epsilon must lie in (0,1)");
+  if (rate_ == 0.0) {
+    rate_ = 1.02 * chain_.max_exit_rate();
+    if (rate_ == 0.0) rate_ = 1.0;  // generator is all-absorbing
+  }
+  KIBAMRM_REQUIRE(rate_ * (1.0 + 1e-12) >= chain_.max_exit_rate(),
+                  "uniformization rate below maximal exit rate");
+  p_ = chain_.generator().uniformized(rate_);
+}
+
+std::vector<std::vector<double>> TransientSolver::solve(
+    const std::vector<double>& initial, const std::vector<double>& times,
+    const std::function<void(std::size_t, double, const std::vector<double>&)>&
+        on_point) {
+  KIBAMRM_REQUIRE(initial.size() == chain_.state_count(),
+                  "initial distribution has wrong dimension");
+  KIBAMRM_REQUIRE(linalg::is_probability_vector(initial, 1e-6),
+                  "initial vector is not a probability distribution");
+  KIBAMRM_REQUIRE(std::is_sorted(times.begin(), times.end()),
+                  "time points must be sorted ascending");
+  KIBAMRM_REQUIRE(times.empty() || times.front() >= 0.0,
+                  "time points must be non-negative");
+
+  stats_ = TransientStats{};
+  stats_.uniformization_rate = rate_;
+  stats_.time_points = times.size();
+
+  std::vector<std::vector<double>> results;
+  results.reserve(times.size());
+
+  std::vector<double> current = initial;   // pi(t_k)
+  std::vector<double> power = initial;     // pi(t_k) P^n during an increment
+  std::vector<double> next(initial.size());
+  std::vector<double> accum(initial.size());
+  double current_time = 0.0;
+
+  for (std::size_t idx = 0; idx < times.size(); ++idx) {
+    const double dt = times[idx] - current_time;
+    if (dt > 0.0) {
+      const double lambda = rate_ * dt;
+      const PoissonWindow window = fox_glynn(lambda, options_.epsilon);
+      linalg::fill(accum, 0.0);
+      power = current;
+      // n = 0 term.
+      if (window.left == 0) {
+        linalg::axpy(window.weight(0), power, accum);
+      }
+      for (std::uint64_t n = 1; n <= window.right; ++n) {
+        p_.left_multiply(power, next);
+        power.swap(next);
+        ++stats_.iterations;
+        if (n >= window.left) {
+          linalg::axpy(window.weight(n), power, accum);
+        }
+      }
+      current.swap(accum);
+      if (options_.renormalize) {
+        linalg::normalize_probability(current);
+      }
+      current_time = times[idx];
+    }
+    results.push_back(current);
+    if (on_point) on_point(idx, times[idx], current);
+  }
+  return results;
+}
+
+std::vector<double> transient_distribution(const Ctmc& chain,
+                                           const std::vector<double>& initial,
+                                           double time,
+                                           TransientOptions options) {
+  TransientSolver solver(chain, options);
+  return solver.solve(initial, {time}).front();
+}
+
+}  // namespace kibamrm::markov

@@ -1,0 +1,73 @@
+// Transient solution of CTMCs by uniformisation.
+//
+// Given a CTMC with generator Q and an initial distribution pi(0), the
+// transient distribution is
+//     pi(t) = sum_{n>=0} Pois(q t; n) * pi(0) P^n,   P = I + Q/q,
+// truncated with Fox-Glynn windows.  This is the computational core of the
+// paper's Markovian approximation (Sec. 5): the expanded battery chain Q* is
+// solved with exactly this routine.
+//
+// Multiple time points are handled *incrementally*: pi(t_{k+1}) is computed
+// from pi(t_k) over the increment t_{k+1} - t_k, so a whole lifetime curve
+// costs about as many matrix-vector products as its final time point alone
+// (q * t_max plus a Fox-Glynn window per point).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "kibamrm/markov/ctmc.hpp"
+
+namespace kibamrm::markov {
+
+struct TransientOptions {
+  /// Total truncation error budget per time increment.
+  double epsilon = 1e-10;
+  /// Uniformisation rate; 0 selects 1.02 * max_exit_rate automatically.
+  /// (A rate slightly above the maximum keeps the diagonal of P positive,
+  /// which damps oscillation in stiff chains.)
+  double uniformization_rate = 0.0;
+  /// Re-normalise the distribution after every time increment to counter
+  /// accumulated round-off on long curves.
+  bool renormalize = true;
+};
+
+/// Cost counters for complexity experiments (Sec. 5.3 / Sec. 6.1 quote
+/// iteration counts; bench/ablation_complexity reproduces them).
+struct TransientStats {
+  std::uint64_t iterations = 0;     // total DTMC steps (= matrix products)
+  std::uint64_t time_points = 0;    // number of requested outputs
+  double uniformization_rate = 0.0;
+};
+
+/// Computes pi(t) for each t in `times` (must be sorted ascending, >= 0).
+/// Returns one distribution per time point.  `on_point`, when given, is
+/// called with (index, time, distribution) as soon as each point is ready --
+/// the bench harness streams curve points this way.
+class TransientSolver {
+ public:
+  explicit TransientSolver(const Ctmc& chain, TransientOptions options = {});
+
+  std::vector<std::vector<double>> solve(
+      const std::vector<double>& initial, const std::vector<double>& times,
+      const std::function<void(std::size_t, double, const std::vector<double>&)>&
+          on_point = nullptr);
+
+  const TransientStats& last_stats() const { return stats_; }
+
+ private:
+  const Ctmc& chain_;
+  TransientOptions options_;
+  linalg::CsrMatrix p_;  // uniformised transition matrix
+  double rate_;
+  TransientStats stats_;
+};
+
+/// One-shot convenience: transient distribution at a single time point.
+std::vector<double> transient_distribution(const Ctmc& chain,
+                                           const std::vector<double>& initial,
+                                           double time,
+                                           TransientOptions options = {});
+
+}  // namespace kibamrm::markov

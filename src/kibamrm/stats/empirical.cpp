@@ -1,0 +1,170 @@
+#include "kibamrm/stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::stats {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : samples_(std::move(samples)) {
+  KIBAMRM_REQUIRE(!samples_.empty(), "empirical distribution needs samples");
+  std::sort(samples_.begin(), samples_.end());
+  for (double x : samples_) mean_ += x;
+  mean_ /= static_cast<double>(samples_.size());
+  for (double x : samples_) m2_ += (x - mean_) * (x - mean_);
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::quantile(double p) const {
+  KIBAMRM_REQUIRE(p >= 0.0 && p <= 1.0, "quantile level must lie in [0,1]");
+  const std::size_t n = samples_.size();
+  if (n == 1) return samples_[0];
+  const double h = p * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = lo + 1 >= n ? n - 1 : lo + 1;
+  const double frac = h - std::floor(h);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+double EmpiricalDistribution::variance() const {
+  if (samples_.size() < 2) return 0.0;
+  return m2_ / static_cast<double>(samples_.size() - 1);
+}
+
+double EmpiricalDistribution::stddev() const { return std::sqrt(variance()); }
+
+double EmpiricalDistribution::mean_ci_halfwidth(double confidence) const {
+  KIBAMRM_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                  "confidence level must lie in (0,1)");
+  // Inverse normal CDF via the Acklam rational approximation (|err|<1e-9),
+  // good far beyond what a plotting CI needs.
+  const double p = 0.5 + confidence / 2.0;
+  const double q = p - 0.5;
+  double z;
+  // Central region |q| <= 0.425 covers every practical confidence level.
+  if (std::abs(q) <= 0.425) {
+    const double r = 0.180625 - q * q;
+    z = q *
+        (((((((2509.0809287301226727 * r + 33430.575583588128105) * r +
+              67265.770927008700853) *
+                 r +
+             45921.953931549871457) *
+                r +
+            13731.693765509461125) *
+               r +
+           1971.5909503065514427) *
+              r +
+          133.14166789178437745) *
+             r +
+         3.387132872796366608) /
+        (((((((5226.495278852545703 * r + 28729.085735721942674) * r +
+              39307.89580009271061) *
+                 r +
+             21213.794301586595867) *
+                r +
+            5394.1960214247511077) *
+               r +
+           687.1870074920579083) *
+              r +
+          42.313330701600911252) *
+             r +
+         1.0);
+  } else {
+    double r = p < 0.5 ? p : 1.0 - p;
+    r = std::sqrt(-std::log(r));
+    if (r <= 5.0) {
+      r -= 1.6;
+      z = (((((((7.7454501427834140764e-4 * r + 0.0227238449892691845833) *
+                    r +
+                0.24178072517745061177) *
+                   r +
+               1.27045825245236838258) *
+                  r +
+              3.64784832476320460504) *
+                 r +
+             5.7694972214606914055) *
+                r +
+            4.6303378461565452959) *
+               r +
+           1.42343711074968357734) /
+          (((((((1.05075007164441684324e-9 * r + 5.475938084995344946e-4) *
+                    r +
+                0.0151986665636164571966) *
+                   r +
+               0.14810397642748007459) *
+                  r +
+              0.68976733498510000455) *
+                 r +
+             1.6763848301838038494) *
+                r +
+            2.05319162663775882187) *
+               r +
+           1.0);
+    } else {
+      r -= 5.0;
+      z = (((((((2.01033439929228813265e-7 * r +
+                 2.71155556874348757815e-5) *
+                    r +
+                0.0012426609473880784386) *
+                   r +
+               0.026532189526576123093) *
+                  r +
+              0.29656057182850489123) *
+                 r +
+             1.7848265399172913358) *
+                r +
+            5.4637849111641143699) *
+               r +
+           6.6579046435011037772) /
+          (((((((2.04426310338993978564e-15 * r +
+                 1.4215117583164458887e-7) *
+                    r +
+                1.8463183175100546818e-5) *
+                   r +
+               7.868691311456132591e-4) *
+                  r +
+              0.0148753612908506148525) *
+                 r +
+             0.13692988092273580531) *
+                r +
+            0.59983220655588793769) *
+               r +
+           1.0);
+    }
+    if (p < 0.5) z = -z;
+  }
+  return z * stddev() / std::sqrt(static_cast<double>(samples_.size()));
+}
+
+double ks_distance(const EmpiricalDistribution& a,
+                   const EmpiricalDistribution& b) {
+  double worst = 0.0;
+  for (double x : a.sorted_samples()) {
+    worst = std::max(worst, std::abs(a.cdf(x) - b.cdf(x)));
+  }
+  for (double x : b.sorted_samples()) {
+    worst = std::max(worst, std::abs(a.cdf(x) - b.cdf(x)));
+  }
+  return worst;
+}
+
+double ks_distance_to_cdf(const EmpiricalDistribution& a,
+                          const std::vector<double>& grid,
+                          const std::vector<double>& cdf_values) {
+  KIBAMRM_REQUIRE(grid.size() == cdf_values.size(),
+                  "ks_distance_to_cdf: grid/value size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    worst = std::max(worst, std::abs(a.cdf(grid[i]) - cdf_values[i]));
+  }
+  return worst;
+}
+
+}  // namespace kibamrm::stats

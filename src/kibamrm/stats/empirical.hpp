@@ -1,0 +1,57 @@
+// Empirical distributions from Monte-Carlo samples.
+//
+// The paper's "simulation" curves are empirical CDFs over 1000 independent
+// lifetime samples (Sec. 6.1).  This module provides the ECDF, sample
+// moments, quantiles, and a normal-approximation confidence interval for
+// the mean.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace kibamrm::stats {
+
+class EmpiricalDistribution {
+ public:
+  /// Takes ownership of the samples; sorts them once.
+  explicit EmpiricalDistribution(std::vector<double> samples);
+
+  std::size_t size() const { return samples_.size(); }
+  const std::vector<double>& sorted_samples() const { return samples_; }
+
+  /// Fraction of samples <= x.
+  double cdf(double x) const;
+
+  /// p-quantile (0 <= p <= 1) with linear interpolation between order
+  /// statistics (type-7, the R default).
+  double quantile(double p) const;
+
+  double min() const { return samples_.front(); }
+  double max() const { return samples_.back(); }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for a single sample.
+  double variance() const;
+  double stddev() const;
+
+  /// Half-width of the normal-approximation confidence interval for the
+  /// mean at the given level (default 95%).
+  double mean_ci_halfwidth(double confidence = 0.95) const;
+
+ private:
+  std::vector<double> samples_;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations
+};
+
+/// Kolmogorov-Smirnov distance sup_x |F1(x) - F2(x)| between two empirical
+/// distributions (used to compare simulation against the approximation).
+double ks_distance(const EmpiricalDistribution& a,
+                   const EmpiricalDistribution& b);
+
+/// KS distance between an ECDF and an arbitrary CDF callable, evaluated at
+/// the sample points (both one-sided gaps per sample).
+double ks_distance_to_cdf(const EmpiricalDistribution& a,
+                          const std::vector<double>& grid,
+                          const std::vector<double>& cdf_values);
+
+}  // namespace kibamrm::stats

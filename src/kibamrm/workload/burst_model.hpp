@@ -1,0 +1,61 @@
+// The "burst model" (Sec. 4.3, Fig. 5): the device buffers the arriving
+// data flow and transmits it in condensed bursts, so it can spend longer
+// stretches in the power-saving sleep state.
+//
+// The data flow toggles between on (bursts arriving) and off:
+//   - switch_on  = 1/h starts the flow,
+//   - switch_off = 6/h stops it.
+// While the flow is on, buffered data triggers sending at lambda_burst; a
+// send completes at mu = 6/h, like in the simple model.  An idle device
+// whose flow is off falls asleep after the timeout tau = 1/h and wakes when
+// the flow resumes.
+//
+// States (indices below): on-idle, on-send, off-idle, off-send, sleep.
+// Transitions:
+//   on-idle  -> on-send   lambda_burst      (burst present, start sending)
+//   on-idle  -> off-idle  switch_off
+//   off-idle -> on-idle   switch_on
+//   on-send  -> on-idle   mu                (send done, flow still on)
+//   on-send  -> off-send  switch_off
+//   off-send -> on-send   switch_on
+//   off-send -> off-idle  mu                (drain the buffered remainder)
+//   off-idle -> sleep     tau
+//   sleep    -> on-idle   switch_on         (flow resumes, device wakes)
+//
+// The paper chooses lambda_burst = 182/h so that the steady-state
+// probability of sending (on-send + off-send) equals the simple model's
+// send probability (1/4); make_burst_model validates this calibration via
+// the steady-state solver in tests.
+#pragma once
+
+#include "kibamrm/workload/workload_model.hpp"
+
+namespace kibamrm::workload {
+
+struct BurstModelParameters {
+  double burst_send_rate = 182.0;  // lambda_burst, per hour
+  double send_finish_rate = 6.0;   // mu, per hour
+  double sleep_timeout_rate = 1.0; // tau, per hour
+  double switch_on_rate = 1.0;     // per hour
+  double switch_off_rate = 6.0;    // per hour
+  double idle_current = 8.0;       // mA
+  double send_current = 200.0;     // mA
+  double sleep_current = 0.0;      // mA
+};
+
+/// State indices of the burst model.
+enum class BurstState : std::size_t {
+  kOnIdle = 0,
+  kOnSend = 1,
+  kOffIdle = 2,
+  kOffSend = 3,
+  kSleep = 4,
+};
+
+WorkloadModel make_burst_model(const BurstModelParameters& params = {});
+
+/// Steady-state probability of residing in a send state; used to check the
+/// lambda_burst calibration against the simple model.
+double burst_send_probability(const WorkloadModel& burst_model);
+
+}  // namespace kibamrm::workload

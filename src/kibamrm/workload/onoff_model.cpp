@@ -1,0 +1,33 @@
+#include "kibamrm/workload/onoff_model.hpp"
+
+#include <string>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::workload {
+
+WorkloadModel make_onoff_model(const OnOffParameters& params) {
+  KIBAMRM_REQUIRE(params.frequency > 0.0, "on/off frequency must be positive");
+  KIBAMRM_REQUIRE(params.erlang_k >= 1, "Erlang K must be >= 1");
+  KIBAMRM_REQUIRE(params.on_current >= 0.0, "on-current must be >= 0");
+
+  const int k = params.erlang_k;
+  const double rate = 2.0 * params.frequency * static_cast<double>(k);
+
+  WorkloadBuilder builder;
+  // States 0..K-1: on phases; states K..2K-1: off phases.
+  for (int phase = 0; phase < k; ++phase) {
+    builder.add_state("on[" + std::to_string(phase) + "]", params.on_current);
+  }
+  for (int phase = 0; phase < k; ++phase) {
+    builder.add_state("off[" + std::to_string(phase) + "]", 0.0);
+  }
+  const auto n = static_cast<std::size_t>(2 * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.add_transition(i, (i + 1) % n, rate);
+  }
+  builder.set_initial_state(params.start_on ? 0 : static_cast<std::size_t>(k));
+  return builder.build();
+}
+
+}  // namespace kibamrm::workload

@@ -1,0 +1,27 @@
+// The stochastic on/off workload (Sec. 4.3, Fig. 3).
+//
+// For a given frequency f the workload toggles between an off-state (no
+// energy consumed) and an on-state (current I).  On- and off-times are
+// Erlang-K distributed with rate lambda = 2 f K per phase, so the expected
+// on (off) time is K / (2 f K) = 1/(2f) and the toggle frequency is f; with
+// growing K the phase times approach the deterministic square wave of the
+// Table 1 experiments.
+#pragma once
+
+#include "kibamrm/workload/workload_model.hpp"
+
+namespace kibamrm::workload {
+
+struct OnOffParameters {
+  double frequency = 1.0;   // f, toggles per time unit
+  int erlang_k = 1;         // K >= 1
+  double on_current = 0.96; // I in the on-state (paper: 0.96 A)
+  bool start_on = true;     // paper convention: the load starts drawing
+};
+
+/// Builds the 2K-state Erlang on/off chain: K "on" phases (each drawing the
+/// on-current) followed by K "off" phases (drawing nothing), cyclically, all
+/// with phase rate lambda = 2 f K.
+WorkloadModel make_onoff_model(const OnOffParameters& params);
+
+}  // namespace kibamrm::workload

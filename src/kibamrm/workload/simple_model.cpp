@@ -1,0 +1,26 @@
+#include "kibamrm/workload/simple_model.hpp"
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::workload {
+
+WorkloadModel make_simple_model(const SimpleModelParameters& params) {
+  KIBAMRM_REQUIRE(params.send_arrival_rate > 0.0 &&
+                      params.send_finish_rate > 0.0 &&
+                      params.sleep_timeout_rate > 0.0,
+                  "simple model rates must be positive");
+
+  WorkloadBuilder builder;
+  const std::size_t idle = builder.add_state("idle", params.idle_current);
+  const std::size_t send = builder.add_state("send", params.send_current);
+  const std::size_t sleep = builder.add_state("sleep", params.sleep_current);
+
+  builder.add_transition(idle, send, params.send_arrival_rate);
+  builder.add_transition(idle, sleep, params.sleep_timeout_rate);
+  builder.add_transition(send, idle, params.send_finish_rate);
+  builder.add_transition(sleep, send, params.send_arrival_rate);
+  builder.set_initial_state(idle);
+  return builder.build();
+}
+
+}  // namespace kibamrm::workload

@@ -1,0 +1,33 @@
+// The "simple model" of a small battery-powered wireless device
+// (Sec. 4.3, Fig. 4): three states -- idle, send, sleep.
+//
+//   - idle -> send at rate lambda (data to transmit arrives),
+//   - sleep -> send at rate lambda (arriving data wakes the device),
+//   - send -> idle at rate mu (transmission complete),
+//   - idle -> sleep at rate tau (power-saving timeout).
+//
+// Defaults are the paper's: lambda = 2/h, mu = 6/h, tau = 1/h, currents
+// I_idle = 8 mA, I_send = 200 mA, I_sleep = 0 mA; the device starts idle.
+// The steady-state send probability is 1/4 (used to calibrate the burst
+// model's lambda_burst, see burst_model.hpp).
+#pragma once
+
+#include "kibamrm/workload/workload_model.hpp"
+
+namespace kibamrm::workload {
+
+struct SimpleModelParameters {
+  double send_arrival_rate = 2.0;  // lambda, per hour
+  double send_finish_rate = 6.0;   // mu, per hour (10-minute mean send)
+  double sleep_timeout_rate = 1.0; // tau, per hour
+  double idle_current = 8.0;       // mA
+  double send_current = 200.0;     // mA
+  double sleep_current = 0.0;      // mA
+};
+
+/// State indices of the simple model.
+enum class SimpleState : std::size_t { kIdle = 0, kSend = 1, kSleep = 2 };
+
+WorkloadModel make_simple_model(const SimpleModelParameters& params = {});
+
+}  // namespace kibamrm::workload

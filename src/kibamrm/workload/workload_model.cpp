@@ -1,0 +1,81 @@
+#include "kibamrm/workload/workload_model.hpp"
+
+#include <algorithm>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/vector_ops.hpp"
+#include "kibamrm/markov/steady_state.hpp"
+
+namespace kibamrm::workload {
+
+WorkloadModel::WorkloadModel(markov::Ctmc chain, std::vector<double> currents,
+                             std::vector<double> initial,
+                             std::vector<std::string> state_names)
+    : chain_(std::move(chain)),
+      currents_(std::move(currents)),
+      initial_(std::move(initial)),
+      names_(std::move(state_names)) {
+  const std::size_t n = chain_.state_count();
+  if (currents_.size() != n || initial_.size() != n || names_.size() != n) {
+    throw ModelError("workload model: vector sizes must match state count");
+  }
+  for (double current : currents_) {
+    if (current < 0.0) {
+      throw ModelError("workload model: currents must be non-negative");
+    }
+  }
+  if (!linalg::is_probability_vector(initial_, 1e-9)) {
+    throw ModelError("workload model: initial vector is not a distribution");
+  }
+}
+
+double WorkloadModel::max_current() const {
+  return *std::max_element(currents_.begin(), currents_.end());
+}
+
+double WorkloadModel::steady_state_current() const {
+  const std::vector<double> pi = markov::steady_state(chain_);
+  return linalg::dot(pi, currents_);
+}
+
+std::size_t WorkloadBuilder::add_state(std::string name, double current) {
+  names_.push_back(std::move(name));
+  currents_.push_back(current);
+  return names_.size() - 1;
+}
+
+void WorkloadBuilder::add_transition(std::size_t from, std::size_t to,
+                                     double rate) {
+  KIBAMRM_REQUIRE(from < names_.size() && to < names_.size(),
+                  "transition endpoints must be existing states");
+  KIBAMRM_REQUIRE(from != to, "self-loops are not meaningful in a CTMC");
+  KIBAMRM_REQUIRE(rate > 0.0, "transition rate must be positive");
+  transitions_.push_back({from, to, rate});
+}
+
+void WorkloadBuilder::set_initial_state(std::size_t state) {
+  KIBAMRM_REQUIRE(state < names_.size(), "initial state must exist");
+  initial_state_ = state;
+  initial_set_ = true;
+}
+
+WorkloadModel WorkloadBuilder::build() const {
+  KIBAMRM_REQUIRE(!names_.empty(), "workload model needs >= 1 state");
+  KIBAMRM_REQUIRE(initial_set_, "workload model needs an initial state");
+  const std::size_t n = names_.size();
+  linalg::CooBuilder builder(n, n);
+  std::vector<double> exit(n, 0.0);
+  for (const auto& t : transitions_) {
+    builder.add(t.from, t.to, t.rate);
+    exit[t.from] += t.rate;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (exit[i] != 0.0) builder.add(i, i, -exit[i]);
+  }
+  std::vector<double> initial(n, 0.0);
+  initial[initial_state_] = 1.0;
+  return WorkloadModel(markov::Ctmc(builder.build()), currents_, initial,
+                       names_);
+}
+
+}  // namespace kibamrm::workload

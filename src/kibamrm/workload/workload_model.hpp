@@ -1,0 +1,72 @@
+// Stochastic workload models (Sec. 4.3).
+//
+// A workload model is a CTMC over the operating modes of the device plus a
+// per-state energy-consumption rate I_i (the current drawn in state i) and
+// an initial distribution.  Combined with a battery it forms the KiBaMRM
+// (core/kibamrm_model.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kibamrm/markov/ctmc.hpp"
+
+namespace kibamrm::workload {
+
+class WorkloadModel {
+ public:
+  /// `chain`: operating-mode CTMC; `currents`: current drawn per state
+  /// (>= 0, same units across states); `initial`: initial distribution;
+  /// `state_names`: one label per state (for tables and debugging).
+  WorkloadModel(markov::Ctmc chain, std::vector<double> currents,
+                std::vector<double> initial,
+                std::vector<std::string> state_names);
+
+  std::size_t state_count() const { return chain_.state_count(); }
+  const markov::Ctmc& chain() const { return chain_; }
+  const std::vector<double>& currents() const { return currents_; }
+  const std::vector<double>& initial_distribution() const { return initial_; }
+  const std::vector<std::string>& state_names() const { return names_; }
+
+  double current(std::size_t state) const { return currents_.at(state); }
+  double max_current() const;
+
+  /// Steady-state expected current draw sum_i pi_i I_i (requires an
+  /// irreducible chain).
+  double steady_state_current() const;
+
+ private:
+  markov::Ctmc chain_;
+  std::vector<double> currents_;
+  std::vector<double> initial_;
+  std::vector<std::string> names_;
+};
+
+/// Convenience builder used by the model factories and tests.
+class WorkloadBuilder {
+ public:
+  /// Adds a state; returns its index.
+  std::size_t add_state(std::string name, double current);
+
+  /// Adds a transition rate from -> to (both must exist).
+  void add_transition(std::size_t from, std::size_t to, double rate);
+
+  /// Marks the (single) initial state.
+  void set_initial_state(std::size_t state);
+
+  WorkloadModel build() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> currents_;
+  struct Transition {
+    std::size_t from;
+    std::size_t to;
+    double rate;
+  };
+  std::vector<Transition> transitions_;
+  std::size_t initial_state_ = 0;
+  bool initial_set_ = false;
+};
+
+}  // namespace kibamrm::workload

@@ -1,0 +1,76 @@
+// Tests for KiBaM parameter calibration (Sec. 3's fitting procedures).
+#include <gtest/gtest.h>
+
+#include "kibamrm/battery/calibration.hpp"
+#include "kibamrm/battery/kibam.hpp"
+#include "kibamrm/battery/lifetime.hpp"
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+namespace {
+
+TEST(Calibration, AvailableFractionFromCapacities) {
+  // Sec. 3: c = (capacity at very large load)/(capacity at very small
+  // load); [9]'s value 0.625 from 4500/7200.
+  EXPECT_DOUBLE_EQ(estimate_available_fraction(4500.0, 7200.0), 0.625);
+  EXPECT_THROW(estimate_available_fraction(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(estimate_available_fraction(2.0, 1.0), InvalidArgument);
+}
+
+TEST(Calibration, RecoversKnownFlowConstant) {
+  // Compute the lifetime for a known k, then invert for it.
+  const double k_true = 4.5e-5;
+  KibamBattery battery({7200.0, 0.625, k_true});
+  const double lifetime =
+      *compute_lifetime(battery, LoadProfile::constant(0.96));
+  const double k_fit = calibrate_flow_constant(7200.0, 0.625, 0.96, lifetime);
+  EXPECT_NEAR(k_fit, k_true, 1e-8);
+}
+
+TEST(Calibration, PaperTargetNinetyMinutes) {
+  // The paper fits k so the continuous 0.96 A lifetime equals the
+  // experimental 90 min; the result must land near the quoted 4.5e-5/s.
+  const double k = calibrate_flow_constant(7200.0, 0.625, 0.96, 90.0 * 60.0);
+  EXPECT_GT(k, 1e-5);
+  EXPECT_LT(k, 1e-4);
+  // Round trip: the fitted battery has the requested lifetime.
+  KibamBattery battery({7200.0, 0.625, k});
+  EXPECT_NEAR(*compute_lifetime(battery, LoadProfile::constant(0.96)),
+              90.0 * 60.0, 1.0);
+}
+
+TEST(Calibration, LifetimeMonotoneInK) {
+  // The bisection precondition.
+  double previous = 0.0;
+  for (double k : {1e-7, 1e-6, 1e-5, 1e-4, 1e-3}) {
+    KibamBattery battery({7200.0, 0.625, k});
+    const double life =
+        *compute_lifetime(battery, LoadProfile::constant(0.96));
+    EXPECT_GE(life, previous);
+    previous = life;
+  }
+}
+
+TEST(Calibration, UnattainableTargetRejected) {
+  // Continuous load can never exceed C/I even with instant recovery.
+  EXPECT_THROW(
+      calibrate_flow_constant(7200.0, 0.625, 0.96, 10.0 * 7200.0 / 0.96),
+      NumericalError);
+  // Nor drop below the available-well-only lifetime.
+  EXPECT_THROW(calibrate_flow_constant(7200.0, 0.625, 0.96, 100.0),
+               NumericalError);
+}
+
+TEST(Calibration, InvalidArgumentsRejected) {
+  EXPECT_THROW(calibrate_flow_constant(-1.0, 0.625, 0.96, 100.0),
+               InvalidArgument);
+  EXPECT_THROW(calibrate_flow_constant(7200.0, 1.0, 0.96, 100.0),
+               InvalidArgument);
+  EXPECT_THROW(calibrate_flow_constant(7200.0, 0.625, 0.0, 100.0),
+               InvalidArgument);
+  EXPECT_THROW(calibrate_flow_constant(7200.0, 0.625, 0.96, 0.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace kibamrm::battery

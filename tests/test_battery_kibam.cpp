@@ -1,0 +1,253 @@
+// Tests for the analytical KiBaM: closed form vs RK4, charge conservation,
+// the recovery effect, and the paper's quantitative anchors (Sec. 3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "kibamrm/battery/ideal.hpp"
+#include "kibamrm/battery/kibam.hpp"
+#include "kibamrm/battery/lifetime.hpp"
+#include "kibamrm/battery/ode.hpp"
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+namespace {
+
+// The paper's Sec. 6.1 battery: C = 7200 As, c = 0.625, k = 4.5e-5/s.
+KibamParameters paper_battery() { return {7200.0, 0.625, 4.5e-5}; }
+
+TEST(KibamParameters, Validation) {
+  EXPECT_NO_THROW(paper_battery().validate());
+  EXPECT_THROW((KibamParameters{0.0, 0.5, 1e-5}.validate()), ModelError);
+  EXPECT_THROW((KibamParameters{1.0, 0.0, 1e-5}.validate()), ModelError);
+  EXPECT_THROW((KibamParameters{1.0, 1.2, 0.0}.validate()), ModelError);
+  EXPECT_THROW((KibamParameters{1.0, 0.5, -1.0}.validate()), ModelError);
+  // c = 1 with nonzero k is contradictory.
+  EXPECT_THROW((KibamParameters{1.0, 1.0, 1e-5}.validate()), ModelError);
+}
+
+TEST(KibamParameters, DerivedQuantities) {
+  const KibamParameters p = paper_battery();
+  EXPECT_DOUBLE_EQ(p.initial_available(), 4500.0);
+  EXPECT_DOUBLE_EQ(p.initial_bound(), 2700.0);
+  EXPECT_NEAR(p.k_prime(), 4.5e-5 / (0.625 * 0.375), 1e-15);
+  EXPECT_TRUE(std::isinf(KibamParameters{1.0, 1.0, 0.0}.k_prime()));
+}
+
+TEST(KibamBattery, InitialStateAndHeights) {
+  KibamBattery battery(paper_battery());
+  EXPECT_DOUBLE_EQ(battery.available_charge(), 4500.0);
+  EXPECT_DOUBLE_EQ(battery.bound_charge(), 2700.0);
+  EXPECT_DOUBLE_EQ(battery.total_charge(), 7200.0);
+  // Both wells start at equal height C (Fig. 1 geometry).
+  EXPECT_NEAR(battery.available_height(), 7200.0, 1e-12);
+  EXPECT_NEAR(battery.bound_height(), 7200.0, 1e-12);
+  EXPECT_FALSE(battery.empty());
+}
+
+TEST(KibamBattery, ChargeConservationUnderLoad) {
+  // d(y1+y2)/dt = -I exactly: total charge after t equals C - I t.
+  KibamBattery battery(paper_battery());
+  battery.advance(0.96, 1000.0);
+  EXPECT_NEAR(battery.total_charge(), 7200.0 - 0.96 * 1000.0, 1e-8);
+  battery.advance(0.5, 500.0);
+  EXPECT_NEAR(battery.total_charge(), 7200.0 - 960.0 - 250.0, 1e-8);
+}
+
+TEST(KibamBattery, RestRedistributesWithoutConsuming) {
+  KibamBattery battery(paper_battery());
+  battery.advance(0.96, 1000.0);
+  const double total = battery.total_charge();
+  const double y1_before = battery.available_charge();
+  battery.advance(0.0, 2000.0);
+  EXPECT_NEAR(battery.total_charge(), total, 1e-8);
+  // Idle recovery moves charge into the available well.
+  EXPECT_GT(battery.available_charge(), y1_before);
+  EXPECT_LT(battery.bound_charge(), 2700.0);
+}
+
+TEST(KibamBattery, HeightsEqualiseAfterLongRest) {
+  KibamBattery battery(paper_battery());
+  battery.advance(0.96, 2000.0);
+  battery.advance(0.0, 1e7);
+  EXPECT_NEAR(battery.available_height(), battery.bound_height(),
+              1e-6 * battery.bound_height());
+}
+
+TEST(KibamBattery, AdvanceComposition) {
+  // Advancing 2000 s in one call equals 4 x 500 s (the closed form chains
+  // exactly across segment boundaries).
+  KibamBattery once(paper_battery());
+  once.advance(0.96, 2000.0);
+  KibamBattery split(paper_battery());
+  for (int i = 0; i < 4; ++i) split.advance(0.96, 500.0);
+  EXPECT_NEAR(once.available_charge(), split.available_charge(), 1e-8);
+  EXPECT_NEAR(once.bound_charge(), split.bound_charge(), 1e-8);
+}
+
+TEST(KibamBattery, ClosedFormMatchesRk4) {
+  const KibamParameters p = paper_battery();
+  const double current = 0.96;
+  KibamBattery battery(p);
+  battery.advance(current, 3000.0);
+
+  const double c = p.available_fraction;
+  const double k = p.flow_constant;
+  const WellOde rhs = [&](double, const WellVector& y) -> WellVector {
+    const double diff = y[1] / (1.0 - c) - y[0] / c;
+    return {-current + k * diff, -k * diff};
+  };
+  const WellVector numeric =
+      rk4_advance(rhs, 0.0, {4500.0, 2700.0}, 3000.0, 3000);
+  EXPECT_NEAR(battery.available_charge(), numeric[0], 1e-6);
+  EXPECT_NEAR(battery.bound_charge(), numeric[1], 1e-6);
+}
+
+TEST(KibamBattery, DegenerateC1IsLinear) {
+  KibamBattery battery({7200.0, 1.0, 0.0});
+  battery.advance(0.96, 1000.0);
+  EXPECT_NEAR(battery.available_charge(), 7200.0 - 960.0, 1e-10);
+  EXPECT_DOUBLE_EQ(battery.bound_charge(), 0.0);
+  const auto crossing = battery.advance(0.96, 1e9);
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_NEAR(*crossing, (7200.0 - 960.0) / 0.96, 1e-6);
+  EXPECT_TRUE(battery.empty());
+}
+
+TEST(KibamBattery, ZeroFlowConstantFreezesBoundWell) {
+  KibamBattery battery({7200.0, 0.625, 0.0});
+  battery.advance(0.96, 1000.0);
+  EXPECT_DOUBLE_EQ(battery.bound_charge(), 2700.0);
+  EXPECT_NEAR(battery.available_charge(), 4500.0 - 960.0, 1e-10);
+}
+
+TEST(KibamBattery, EmptyCrossingDetectedInsideSegment) {
+  KibamBattery battery({100.0, 1.0, 0.0});
+  const auto crossing = battery.advance(10.0, 100.0);
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_NEAR(*crossing, 10.0, 1e-9);
+  EXPECT_TRUE(battery.empty());
+  EXPECT_DOUBLE_EQ(battery.available_charge(), 0.0);
+  // Further advances report an immediate (time-0) crossing.
+  EXPECT_DOUBLE_EQ(battery.advance(1.0, 5.0).value(), 0.0);
+}
+
+TEST(KibamBattery, NoCrossingWhenChargeSuffices) {
+  KibamBattery battery({100.0, 1.0, 0.0});
+  EXPECT_FALSE(battery.advance(1.0, 50.0).has_value());
+  EXPECT_FALSE(battery.empty());
+}
+
+TEST(KibamBattery, ContinuousLifetimeMatchesPaper) {
+  // Sec. 3 / Table 1: continuous 0.96 A load, KiBaM lifetime 91 min.
+  KibamBattery battery(paper_battery());
+  const auto life = compute_lifetime(battery, LoadProfile::constant(0.96));
+  ASSERT_TRUE(life.has_value());
+  EXPECT_NEAR(*life / 60.0, 91.0, 0.5);
+}
+
+TEST(KibamBattery, SquareWaveLifetimeMatchesPaperAndIsFrequencyFree) {
+  // Table 1: 1 Hz and 0.2 Hz square waves both give 203 min for the KiBaM.
+  const double life_1hz = [] {
+    KibamBattery b(paper_battery());
+    return *compute_lifetime(b, LoadProfile::square_wave(1.0, 0.96),
+                             {.max_time = 1e7});
+  }();
+  const double life_02hz = [] {
+    KibamBattery b(paper_battery());
+    return *compute_lifetime(b, LoadProfile::square_wave(0.2, 0.96),
+                             {.max_time = 1e7});
+  }();
+  EXPECT_NEAR(life_1hz / 60.0, 203.0, 1.0);
+  EXPECT_NEAR(life_02hz / 60.0, 203.0, 1.0);
+  EXPECT_NEAR(life_1hz, life_02hz, 10.0);
+}
+
+TEST(KibamBattery, RecoveryExtendsLifetimeOverContinuous) {
+  // The intermittent load delivers more charge than the continuous one at
+  // the same current (Sec. 2's recovery effect).
+  KibamBattery continuous(paper_battery());
+  const double life_cont =
+      *compute_lifetime(continuous, LoadProfile::constant(0.96));
+  KibamBattery pulsed(paper_battery());
+  const double life_pulsed = *compute_lifetime(
+      pulsed, LoadProfile::square_wave(0.01, 0.96), {.max_time = 1e7});
+  // On-time of the pulsed load at depletion.
+  EXPECT_GT(life_pulsed / 2.0, life_cont);
+}
+
+TEST(KibamBattery, CustomInitialWellsFig9Scenario) {
+  // Fig. 9's third case: C = 4500 As entirely available (c = 1).
+  KibamBattery battery({4500.0, 1.0, 0.0});
+  const auto life = compute_lifetime(battery, LoadProfile::constant(0.96));
+  EXPECT_NEAR(*life, 4500.0 / 0.96, 1e-6);
+}
+
+TEST(KibamBattery, ResetRestoresInitialState) {
+  KibamBattery battery(paper_battery());
+  battery.advance(0.96, 4000.0);
+  battery.reset();
+  EXPECT_DOUBLE_EQ(battery.available_charge(), 4500.0);
+  EXPECT_DOUBLE_EQ(battery.bound_charge(), 2700.0);
+  EXPECT_FALSE(battery.empty());
+}
+
+TEST(KibamBattery, RejectsNegativeInputs) {
+  KibamBattery battery(paper_battery());
+  EXPECT_THROW(battery.advance(-1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(battery.advance(1.0, -1.0), InvalidArgument);
+}
+
+TEST(IdealBattery, LifetimeIsCapacityOverCurrent) {
+  IdealBattery battery(1200.0);
+  const auto life = compute_lifetime(battery, LoadProfile::constant(2.0));
+  EXPECT_NEAR(*life, 600.0, 1e-9);
+}
+
+TEST(IdealBattery, LoadIndependentDeliveredCharge) {
+  // The ideal battery delivers exactly C under any profile shape.
+  IdealBattery battery(1000.0);
+  const auto life = compute_lifetime(
+      battery, LoadProfile::square_wave(0.01, 4.0), {.max_time = 1e7});
+  ASSERT_TRUE(life.has_value());
+  // On-time * current = C.
+  const double on_time = *life - std::floor(*life * 0.01) * 50.0 -
+                         std::min(std::fmod(*life, 100.0), 50.0) +
+                         std::floor(*life * 0.01) * 50.0;
+  (void)on_time;  // exact on-time bookkeeping checked via charge instead:
+  EXPECT_NEAR(battery.available_charge(), 0.0, 1e-9);
+}
+
+TEST(Trajectory, RecordsFig2Shape) {
+  // Fig. 2: f = 0.001 Hz square wave; y1 dips during on-phases and recovers
+  // during off-phases; y2 decreases monotonically.
+  KibamBattery battery(paper_battery());
+  std::vector<double> times;
+  for (double t = 0.0; t <= 4000.0; t += 100.0) times.push_back(t);
+  const auto samples = record_trajectory(
+      battery, LoadProfile::square_wave(0.001, 0.96), times);
+  ASSERT_EQ(samples.size(), times.size());
+  EXPECT_DOUBLE_EQ(samples[0].available, 4500.0);
+  EXPECT_DOUBLE_EQ(samples[0].bound, 2700.0);
+  // t = 500 (end of on half-period region): y1 dropped.
+  EXPECT_LT(samples[5].available, 4100.0);
+  // During the off half (t in [500, 1000]) y1 recovers.
+  EXPECT_GT(samples[10].available, samples[5].available);
+  // y2 is non-increasing throughout.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i].bound, samples[i - 1].bound + 1e-9);
+  }
+}
+
+TEST(Trajectory, StopsAtDepletion) {
+  KibamBattery battery({100.0, 1.0, 0.0});
+  const auto samples = record_trajectory(
+      battery, LoadProfile::constant(10.0), {0.0, 5.0, 20.0, 30.0});
+  ASSERT_EQ(samples.size(), 3u);  // 0, 5, then the crossing at 10
+  EXPECT_NEAR(samples.back().time, 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(samples.back().available, 0.0);
+}
+
+}  // namespace
+}  // namespace kibamrm::battery

@@ -1,0 +1,89 @@
+// Tests for load profiles and the segment walker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "kibamrm/battery/load_profile.hpp"
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+namespace {
+
+TEST(LoadProfile, ConstantProfile) {
+  const LoadProfile p = LoadProfile::constant(0.96);
+  EXPECT_DOUBLE_EQ(p.current_at(0.0), 0.96);
+  EXPECT_DOUBLE_EQ(p.current_at(1e9), 0.96);
+  EXPECT_NEAR(p.average_current(100.0), 0.96, 1e-12);
+}
+
+TEST(LoadProfile, SquareWaveTiming) {
+  // f = 0.001 Hz: 500 s on, 500 s off (Fig. 2's drive).
+  const LoadProfile p = LoadProfile::square_wave(0.001, 0.96);
+  EXPECT_DOUBLE_EQ(p.cycle_duration(), 1000.0);
+  EXPECT_DOUBLE_EQ(p.current_at(0.0), 0.96);
+  EXPECT_DOUBLE_EQ(p.current_at(499.9), 0.96);
+  EXPECT_DOUBLE_EQ(p.current_at(500.1), 0.0);
+  EXPECT_DOUBLE_EQ(p.current_at(999.9), 0.0);
+  // Periodic wrap-around.
+  EXPECT_DOUBLE_EQ(p.current_at(1000.1), 0.96);
+  EXPECT_DOUBLE_EQ(p.current_at(1500.1), 0.0);
+}
+
+TEST(LoadProfile, SquareWaveOffFirst) {
+  const LoadProfile p = LoadProfile::square_wave(0.5, 1.0, /*on_first=*/false);
+  EXPECT_DOUBLE_EQ(p.current_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.current_at(1.5), 1.0);
+}
+
+TEST(LoadProfile, AverageCurrentOfSquareWaveIsHalf) {
+  const LoadProfile p = LoadProfile::square_wave(1.0, 0.96);
+  EXPECT_NEAR(p.average_current(10.0), 0.48, 1e-12);
+}
+
+TEST(LoadProfile, NonPeriodicHoldsLastCurrent) {
+  const LoadProfile p({{10.0, 2.0}, {5.0, 0.5}}, /*periodic=*/false);
+  EXPECT_DOUBLE_EQ(p.current_at(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.current_at(12.0), 0.5);
+  EXPECT_DOUBLE_EQ(p.current_at(1000.0), 0.5);
+}
+
+TEST(LoadProfile, Validation) {
+  EXPECT_THROW(LoadProfile({}), InvalidArgument);
+  EXPECT_THROW(LoadProfile({{0.0, 1.0}}), InvalidArgument);
+  EXPECT_THROW(LoadProfile({{1.0, -1.0}}), InvalidArgument);
+  EXPECT_THROW(LoadProfile::square_wave(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(LoadProfile::constant(1.0).current_at(-1.0), InvalidArgument);
+}
+
+TEST(SegmentWalker, WalksPeriodicProfile) {
+  const LoadProfile p = LoadProfile::square_wave(0.5, 1.0);  // 1 s halves
+  SegmentWalker walker(p);
+  EXPECT_DOUBLE_EQ(walker.current(), 1.0);
+  EXPECT_DOUBLE_EQ(walker.remaining(), 1.0);
+  walker.consume(0.4);
+  EXPECT_DOUBLE_EQ(walker.current(), 1.0);
+  EXPECT_NEAR(walker.remaining(), 0.6, 1e-12);
+  walker.consume(0.6);
+  EXPECT_DOUBLE_EQ(walker.current(), 0.0);  // off half
+  walker.consume(1.0);
+  EXPECT_DOUBLE_EQ(walker.current(), 1.0);  // wrapped to the next cycle
+}
+
+TEST(SegmentWalker, OverconsumeRejected) {
+  SegmentWalker walker(LoadProfile::square_wave(0.5, 1.0));
+  EXPECT_THROW(walker.consume(1.5), InvalidArgument);
+}
+
+TEST(SegmentWalker, NonPeriodicEndsInInfiniteHold) {
+  const LoadProfile p({{2.0, 3.0}}, /*periodic=*/false);
+  SegmentWalker walker(p);
+  walker.consume(2.0);
+  EXPECT_DOUBLE_EQ(walker.current(), 3.0);
+  EXPECT_TRUE(std::isinf(walker.remaining()));
+  walker.consume(1e12);  // no-op past the end
+  EXPECT_DOUBLE_EQ(walker.current(), 3.0);
+}
+
+}  // namespace
+}  // namespace kibamrm::battery

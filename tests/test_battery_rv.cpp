@@ -1,0 +1,138 @@
+// Tests for the Rakhmatov-Vrudhula diffusion battery model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kibamrm/battery/lifetime.hpp"
+#include "kibamrm/battery/rakhmatov_vrudhula.hpp"
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::battery {
+namespace {
+
+RakhmatovVrudhulaParameters cell() {
+  // alpha sized like the paper's battery, beta ~ minutes-scale diffusion.
+  return {.alpha = 7200.0, .beta = 0.02, .modes = 20};
+}
+
+TEST(RvModel, Validation) {
+  EXPECT_THROW((RakhmatovVrudhulaParameters{0.0, 1.0, 10}.validate()),
+               ModelError);
+  EXPECT_THROW((RakhmatovVrudhulaParameters{1.0, 0.0, 10}.validate()),
+               ModelError);
+  EXPECT_THROW((RakhmatovVrudhulaParameters{1.0, 1.0, 0}.validate()),
+               ModelError);
+}
+
+TEST(RvModel, InitialState) {
+  RakhmatovVrudhulaBattery battery(cell());
+  EXPECT_DOUBLE_EQ(battery.apparent_charge(), 0.0);
+  EXPECT_DOUBLE_EQ(battery.available_charge(), 7200.0);
+  EXPECT_DOUBLE_EQ(battery.bound_charge(), 0.0);
+  EXPECT_FALSE(battery.empty());
+}
+
+TEST(RvModel, ApparentChargeExceedsConsumedUnderLoad) {
+  // The diffusion deficit makes the apparent drawn charge larger than the
+  // integral of the current -- the rate-capacity effect.
+  RakhmatovVrudhulaBattery battery(cell());
+  battery.advance(0.96, 1000.0);
+  EXPECT_NEAR(battery.consumed_charge(), 960.0, 1e-9);
+  EXPECT_GT(battery.apparent_charge(), 960.0);
+}
+
+TEST(RvModel, RestRecoversApparentCharge) {
+  RakhmatovVrudhulaBattery battery(cell());
+  battery.advance(0.96, 1000.0);
+  const double before = battery.apparent_charge();
+  battery.advance(0.0, 5000.0);
+  EXPECT_LT(battery.apparent_charge(), before);
+  // Consumed charge unchanged by rest.
+  EXPECT_NEAR(battery.consumed_charge(), 960.0, 1e-9);
+  // After a very long rest the transient deficit vanishes.
+  battery.advance(0.0, 1e7);
+  EXPECT_NEAR(battery.apparent_charge(), 960.0, 1e-6);
+}
+
+TEST(RvModel, IncrementalAdvanceComposesExactly) {
+  RakhmatovVrudhulaBattery once(cell());
+  once.advance(0.96, 2000.0);
+  RakhmatovVrudhulaBattery split(cell());
+  for (int i = 0; i < 4; ++i) split.advance(0.96, 500.0);
+  EXPECT_NEAR(once.apparent_charge(), split.apparent_charge(), 1e-8);
+}
+
+TEST(RvModel, ConstantLoadLifetimeMatchesClosedForm) {
+  const auto params = cell();
+  const auto closed = rv_constant_load_lifetime(params, 0.96);
+  ASSERT_TRUE(closed.has_value());
+  RakhmatovVrudhulaBattery battery(params);
+  const auto incremental =
+      compute_lifetime(battery, LoadProfile::constant(0.96));
+  ASSERT_TRUE(incremental.has_value());
+  EXPECT_NEAR(*incremental, *closed, 1e-6 * *closed);
+  // Diffusion shortens the lifetime below the ideal alpha / I.
+  EXPECT_LT(*closed, 7200.0 / 0.96);
+}
+
+TEST(RvModel, HigherLoadDeliversLessCharge) {
+  const auto params = cell();
+  const double delivered_low =
+      0.5 * rv_constant_load_lifetime(params, 0.5).value();
+  const double delivered_high =
+      2.0 * rv_constant_load_lifetime(params, 2.0).value();
+  EXPECT_GT(delivered_low, delivered_high);
+}
+
+TEST(RvModel, PulsedLoadOutlivesContinuous) {
+  const auto params = cell();
+  const double continuous = rv_constant_load_lifetime(params, 0.96).value();
+  RakhmatovVrudhulaBattery battery(params);
+  const double pulsed =
+      compute_lifetime(battery, LoadProfile::square_wave(0.001, 0.96),
+                       {.max_time = 1e8})
+          .value();
+  // At 50% duty the pulsed load must last more than twice as long as it
+  // would if recovery bought nothing... at least as long as 2x continuous
+  // minus the final on-phase; and recovery buys extra on top.
+  EXPECT_GT(pulsed, 1.9 * continuous);
+}
+
+TEST(RvModel, FasterDiffusionApproachesIdealBattery) {
+  // beta -> large: the deficit relaxes instantly and the lifetime tends to
+  // alpha / I.
+  const RakhmatovVrudhulaParameters fast{7200.0, 1.0, 20};
+  const double life = rv_constant_load_lifetime(fast, 0.96).value();
+  EXPECT_NEAR(life, 7500.0, 0.05 * 7500.0);
+  const RakhmatovVrudhulaParameters slow{7200.0, 0.005, 20};
+  EXPECT_LT(rv_constant_load_lifetime(slow, 0.96).value(), life);
+}
+
+TEST(RvModel, SurvivesZeroLoadForever) {
+  const auto params = cell();
+  EXPECT_FALSE(rv_constant_load_lifetime(params, 0.0).has_value());
+  RakhmatovVrudhulaBattery battery(params);
+  EXPECT_FALSE(battery.advance(0.0, 1e9).has_value());
+  EXPECT_FALSE(battery.empty());
+}
+
+TEST(RvModel, ResetRestoresFullCharge) {
+  RakhmatovVrudhulaBattery battery(cell());
+  battery.advance(0.96, 3000.0);
+  battery.reset();
+  EXPECT_DOUBLE_EQ(battery.apparent_charge(), 0.0);
+  EXPECT_DOUBLE_EQ(battery.available_charge(), 7200.0);
+  EXPECT_FALSE(battery.empty());
+}
+
+TEST(RvModel, EmptyCrossingDetectedAndSticky) {
+  const auto params = cell();
+  RakhmatovVrudhulaBattery battery(params);
+  const auto crossing = battery.advance(10.0, 1e6);
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_TRUE(battery.empty());
+  EXPECT_DOUBLE_EQ(battery.advance(1.0, 10.0).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace kibamrm::battery

@@ -1,0 +1,190 @@
+// Tests for common/random: determinism, distribution shapes, stream
+// splitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/common/random.hpp"
+
+namespace kibamrm::common {
+namespace {
+
+TEST(Xoshiro256, DeterministicForEqualSeeds) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256, JumpChangesStream) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RandomStream, UniformWithinUnitInterval) {
+  RandomStream rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomStream, UniformRangeRespectsBounds) {
+  RandomStream rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RandomStream, UniformRangeRejectsEmptyInterval) {
+  RandomStream rng(3);
+  EXPECT_THROW(rng.uniform(5.0, 5.0), InvalidArgument);
+  EXPECT_THROW(rng.uniform(6.0, 5.0), InvalidArgument);
+}
+
+TEST(RandomStream, UniformMeanNearHalf) {
+  RandomStream rng(4);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+class ExponentialRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialRateTest, MeanAndVarianceMatchTheory) {
+  const double rate = GetParam();
+  RandomStream rng(99);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(rate);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0 / rate, 0.02 / rate);
+  EXPECT_NEAR(var, 1.0 / (rate * rate), 0.1 / (rate * rate));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ExponentialRateTest,
+                         ::testing::Values(0.1, 1.0, 2.0, 6.0, 182.0));
+
+TEST(RandomStream, ExponentialRejectsNonPositiveRate) {
+  RandomStream rng(5);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+  EXPECT_THROW(rng.exponential(-1.0), InvalidArgument);
+}
+
+class ErlangShapeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ErlangShapeTest, MeanMatchesKOverRate) {
+  const int k = GetParam();
+  const double rate = 4.0;
+  RandomStream rng(123);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.erlang(k, rate);
+  EXPECT_NEAR(sum / n, k / rate, 0.03 * k / rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ErlangShapeTest,
+                         ::testing::Values(1, 2, 5, 10, 50));
+
+TEST(RandomStream, ErlangRejectsBadShape) {
+  RandomStream rng(6);
+  EXPECT_THROW(rng.erlang(0, 1.0), InvalidArgument);
+}
+
+TEST(RandomStream, BernoulliExtremeProbabilities) {
+  RandomStream rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(1.5), InvalidArgument);
+  EXPECT_THROW(rng.bernoulli(-0.1), InvalidArgument);
+}
+
+TEST(RandomStream, BernoulliFrequencyMatchesP) {
+  RandomStream rng(8);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RandomStream, DiscreteMatchesWeights) {
+  RandomStream rng(9);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RandomStream, DiscreteHandlesZeroWeightEntries) {
+  RandomStream rng(10);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.discrete(weights), 1u);
+  }
+}
+
+TEST(RandomStream, DiscreteRejectsInvalidWeights) {
+  RandomStream rng(11);
+  EXPECT_THROW(rng.discrete({}), InvalidArgument);
+  EXPECT_THROW(rng.discrete({0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(rng.discrete({1.0, -1.0}), InvalidArgument);
+}
+
+TEST(RandomStream, SplitProducesDecorrelatedStreams) {
+  RandomStream parent(12);
+  RandomStream child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.generator()() == child.generator()()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RandomStream, SplitIsReproducible) {
+  RandomStream a(13);
+  RandomStream b(13);
+  RandomStream ca = a.split();
+  RandomStream cb = b.split();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(ca.generator()(), cb.generator()());
+  }
+}
+
+}  // namespace
+}  // namespace kibamrm::common

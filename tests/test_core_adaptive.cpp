@@ -1,0 +1,131 @@
+// Tests for reward-inhomogeneous (charge-adaptive) workload rates: the
+// Q(y1, y2) generality of Sec. 4.1, exercised through a throttling policy.
+#include <gtest/gtest.h>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/core/approx_solver.hpp"
+#include "kibamrm/core/exact_c1.hpp"
+#include "kibamrm/core/simulator.hpp"
+#include "kibamrm/workload/simple_model.hpp"
+
+namespace kibamrm::core {
+namespace {
+
+KibamRmModel plain_model() {
+  return KibamRmModel(workload::make_simple_model(),
+                      {.capacity = 800.0, .available_fraction = 1.0,
+                       .flow_constant = 0.0});
+}
+
+// Throttle: halve the idle->send arrival rate once the available charge
+// drops below the threshold.
+KibamRmModel throttled_model(double threshold, double factor) {
+  KibamRmModel model = plain_model();
+  const auto send = static_cast<std::size_t>(workload::SimpleState::kSend);
+  model.set_rate_modifier(
+      [threshold, factor, send](std::size_t /*from*/, std::size_t to,
+                                double y1, double /*y2*/) {
+        if (to == send && y1 < threshold) return factor;
+        return 1.0;
+      },
+      1.0);
+  return model;
+}
+
+TEST(AdaptiveWorkload, ModifierValidation) {
+  KibamRmModel model = plain_model();
+  EXPECT_THROW(model.set_rate_modifier(nullptr), InvalidArgument);
+  EXPECT_THROW(model.set_rate_modifier(
+                   [](std::size_t, std::size_t, double, double) {
+                     return 1.0;
+                   },
+                   0.0),
+               InvalidArgument);
+  EXPECT_FALSE(model.has_rate_modifier());
+  model.set_rate_modifier(
+      [](std::size_t, std::size_t, double, double) { return 0.5; }, 1.0);
+  EXPECT_TRUE(model.has_rate_modifier());
+}
+
+TEST(AdaptiveWorkload, UnitModifierLeavesCurveUnchanged) {
+  const auto times = uniform_grid(2.0, 30.0, 29);
+  MarkovianApproximation base(plain_model(), {.delta = 10.0});
+  const LifetimeCurve reference = base.solve(times);
+
+  KibamRmModel unit = plain_model();
+  unit.set_rate_modifier(
+      [](std::size_t, std::size_t, double, double) { return 1.0; }, 1.0);
+  MarkovianApproximation same(unit, {.delta = 10.0});
+  EXPECT_LT(same.solve(times).max_difference(reference), 1e-12);
+}
+
+TEST(AdaptiveWorkload, ModifierOutsideBoundRejectedAtBuild) {
+  KibamRmModel model = plain_model();
+  model.set_rate_modifier(
+      [](std::size_t, std::size_t, double, double) { return 2.0; }, 1.0);
+  EXPECT_THROW(MarkovianApproximation(model, {.delta = 10.0}),
+               InvalidArgument);
+}
+
+TEST(AdaptiveWorkload, ThrottlingExtendsLifetime) {
+  const auto times = uniform_grid(2.0, 40.0, 39);
+  MarkovianApproximation base(plain_model(), {.delta = 10.0});
+  const LifetimeCurve plain = base.solve(times);
+  MarkovianApproximation throttled(throttled_model(400.0, 0.25),
+                                   {.delta = 10.0});
+  const LifetimeCurve adaptive = throttled.solve(times);
+  EXPECT_GT(adaptive.median(), plain.median() + 0.5);
+  // The adaptive curve is right of the plain one wherever it matters.
+  for (double t : {10.0, 15.0, 20.0, 25.0}) {
+    EXPECT_LE(adaptive.probability_at(t), plain.probability_at(t) + 1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(AdaptiveWorkload, StrongerThrottleExtendsMore) {
+  const auto times = uniform_grid(2.0, 60.0, 59);
+  MarkovianApproximation mild(throttled_model(400.0, 0.5), {.delta = 10.0});
+  MarkovianApproximation strong(throttled_model(400.0, 0.1), {.delta = 10.0});
+  EXPECT_GT(strong.solve(times).median(), mild.solve(times).median());
+}
+
+TEST(AdaptiveWorkload, SimulatorAgreesWithApproximation) {
+  // The thinning simulator and the level-expanded chain must agree on the
+  // adaptive model (coarse tolerance: Delta bias + MC noise).
+  const auto times = uniform_grid(2.0, 40.0, 39);
+  const KibamRmModel model = throttled_model(400.0, 0.25);
+  MarkovianApproximation approx(model, {.delta = 2.0});
+  const LifetimeCurve curve = approx.solve(times);
+  MonteCarloSimulator sim(model, {.replications = 2000, .seed = 31});
+  const LifetimeCurve mc = sim.empty_probability_curve(times);
+  EXPECT_LT(curve.max_difference(mc), 0.05);
+  EXPECT_NEAR(curve.median(), mc.median(), 0.6);
+}
+
+TEST(AdaptiveWorkload, ExactSolverRejectsModifiers) {
+  const KibamRmModel model = throttled_model(400.0, 0.5);
+  EXPECT_THROW(ExactC1Solver solver(model), InvalidArgument);
+}
+
+TEST(AdaptiveWorkload, ZeroModifierDisablesTransition) {
+  // Forbid sending entirely below the threshold.  Below it the sleep state
+  // loses its only exit (sleep -> send), so a device that falls asleep
+  // there stays asleep drawing nothing: a positive fraction of batteries
+  // never dies and the CDF plateaus strictly below 1.
+  const auto times = uniform_grid(2.0, 200.0, 99);
+  MarkovianApproximation blocked(throttled_model(400.0, 0.0),
+                                 {.delta = 10.0});
+  const LifetimeCurve curve = blocked.solve(times);
+  const double plateau = curve.probabilities().back();
+  EXPECT_LT(plateau, 0.9);
+  EXPECT_GT(plateau, 0.0);
+  // The plateau is reached: the last two grid values are ~equal.
+  EXPECT_NEAR(plateau,
+              curve.probability_at(times[times.size() / 2]), 0.05);
+  // The plain model, in contrast, is surely dead long before the horizon.
+  MarkovianApproximation base(plain_model(), {.delta = 10.0});
+  EXPECT_GT(base.solve(times).probabilities().back(), 0.999);
+}
+
+}  // namespace
+}  // namespace kibamrm::core

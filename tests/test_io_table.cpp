@@ -1,0 +1,75 @@
+// Tests for the table/CSV output helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/io/table.hpp"
+
+namespace kibamrm::io {
+namespace {
+
+TEST(Table, PrintAlignsColumns) {
+  Table table({"t", "value"});
+  table.add_row({"10", "0.5"});
+  table.add_row({"10000", "0.9999"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("t"), std::string::npos);
+  EXPECT_NE(text.find("10000"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(Table, NumericRowsFormatted) {
+  Table table({"x", "y"});
+  table.add_numeric_row(std::vector<double>{1.5, 2.25}, 2);
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "x,y\n1.50,2.25\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table({"name", "note"});
+  table.add_row({"a,b", "say \"hi\""});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, WriteCsvFileRoundTrip) {
+  Table table({"t", "p"});
+  table.add_numeric_row(std::vector<double>{1.0, 0.25}, 3);
+  const std::string path = ::testing::TempDir() + "kibamrm_table_test.csv";
+  table.write_csv_file(path);
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "t,p\n1.000,0.250\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvFileBadPathThrows) {
+  Table table({"a"});
+  EXPECT_THROW(table.write_csv_file("/nonexistent-dir/x/y.csv"), Error);
+}
+
+TEST(FormatDouble, PrecisionControl) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace kibamrm::io

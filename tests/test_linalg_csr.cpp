@@ -1,0 +1,184 @@
+// Tests for the COO builder and CSR matrix kernels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/csr_matrix.hpp"
+
+namespace kibamrm::linalg {
+namespace {
+
+CsrMatrix small_matrix() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  CooBuilder builder(3, 3);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 2, 2.0);
+  builder.add(2, 0, 3.0);
+  builder.add(2, 1, 4.0);
+  return builder.build();
+}
+
+TEST(CooBuilder, MergesDuplicatesAndDropsZeros) {
+  CooBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 0, 2.0);   // duplicate: summed
+  builder.add(1, 1, 5.0);
+  builder.add(1, 1, -5.0);  // cancels to zero: dropped
+  builder.add(0, 1, 0.0);   // explicit zero: dropped
+  const CsrMatrix m = builder.build();
+  EXPECT_EQ(m.nonzeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(CooBuilder, OutOfBoundsRejected) {
+  CooBuilder builder(2, 2);
+  EXPECT_THROW(builder.add(2, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(builder.add(0, 2, 1.0), InvalidArgument);
+}
+
+TEST(CooBuilder, UnsortedInsertionOrderIsFine) {
+  CooBuilder builder(3, 3);
+  builder.add(2, 1, 4.0);
+  builder.add(0, 2, 2.0);
+  builder.add(2, 0, 3.0);
+  builder.add(0, 0, 1.0);
+  const CsrMatrix m = builder.build();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 4.0);
+}
+
+TEST(CsrMatrix, MultiplyColumnVector) {
+  const CsrMatrix m = small_matrix();
+  std::vector<double> out;
+  m.multiply({1.0, 2.0, 3.0}, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 7.0);   // 1*1 + 2*3
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 11.0);  // 3*1 + 4*2
+}
+
+TEST(CsrMatrix, LeftMultiplyRowVector) {
+  const CsrMatrix m = small_matrix();
+  std::vector<double> out;
+  m.left_multiply({1.0, 2.0, 3.0}, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 10.0);  // 1*1 + 3*3
+  EXPECT_DOUBLE_EQ(out[1], 12.0);  // 3*4
+  EXPECT_DOUBLE_EQ(out[2], 2.0);   // 1*2
+}
+
+TEST(CsrMatrix, LeftMultiplyEqualsTransposedMultiply) {
+  const CsrMatrix m = small_matrix();
+  const CsrMatrix mt = m.transposed();
+  const std::vector<double> v = {0.3, 0.5, 0.2};
+  std::vector<double> left;
+  std::vector<double> via_transpose;
+  m.left_multiply(v, left);
+  mt.multiply(v, via_transpose);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(left[i], via_transpose[i], 1e-15);
+  }
+}
+
+TEST(CsrMatrix, DimensionMismatchRejected) {
+  const CsrMatrix m = small_matrix();
+  std::vector<double> out;
+  const std::vector<double> bad = {1.0, 2.0};
+  EXPECT_THROW(m.multiply(bad, out), InvalidArgument);
+  EXPECT_THROW(m.left_multiply(bad, out), InvalidArgument);
+}
+
+TEST(CsrMatrix, RowSums) {
+  const std::vector<double> sums = small_matrix().row_sums();
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], 0.0);
+  EXPECT_DOUBLE_EQ(sums[2], 7.0);
+}
+
+TEST(CsrMatrix, ScaledCopies) {
+  const CsrMatrix m = small_matrix().scaled(2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 8.0);
+}
+
+TEST(CsrMatrix, TransposeRoundTrip) {
+  const CsrMatrix m = small_matrix();
+  const CsrMatrix mtt = m.transposed().transposed();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m.at(i, j), mtt.at(i, j));
+    }
+  }
+}
+
+CsrMatrix two_state_generator(double a, double b) {
+  CooBuilder builder(2, 2);
+  builder.add(0, 0, -a);
+  builder.add(0, 1, a);
+  builder.add(1, 0, b);
+  builder.add(1, 1, -b);
+  return builder.build();
+}
+
+TEST(CsrMatrix, MaxExitRate) {
+  EXPECT_DOUBLE_EQ(two_state_generator(2.0, 5.0).max_exit_rate(), 5.0);
+}
+
+TEST(CsrMatrix, UniformizedIsStochastic) {
+  const CsrMatrix q = two_state_generator(2.0, 5.0);
+  const CsrMatrix p = q.uniformized(5.0);
+  const std::vector<double> sums = p.row_sums();
+  EXPECT_NEAR(sums[0], 1.0, 1e-15);
+  EXPECT_NEAR(sums[1], 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(p.at(0, 1), 0.4);
+  EXPECT_DOUBLE_EQ(p.at(0, 0), 0.6);
+  EXPECT_DOUBLE_EQ(p.at(1, 1), 0.0);
+}
+
+TEST(CsrMatrix, UniformizedHandlesAbsorbingRows) {
+  CooBuilder builder(2, 2);
+  builder.add(0, 0, -1.0);
+  builder.add(0, 1, 1.0);
+  // row 1 absorbing: all zero
+  const CsrMatrix p = builder.build().uniformized(1.0);
+  EXPECT_DOUBLE_EQ(p.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(1, 0), 0.0);
+}
+
+TEST(CsrMatrix, UniformizedRejectsTooSmallRate) {
+  const CsrMatrix q = two_state_generator(2.0, 5.0);
+  EXPECT_THROW(q.uniformized(4.0), InvalidArgument);
+}
+
+TEST(CsrMatrix, AtOutOfRangeRejected) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_THROW(m.at(3, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 3), InvalidArgument);
+}
+
+TEST(CsrMatrix, LargeBandedMatrixRoundTrip) {
+  // A 10k-state birth-death structure, the shape of the expanded battery
+  // chains; checks index arithmetic at scale.
+  const std::size_t n = 10000;
+  CooBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) builder.add(i, i + 1, 1.0 + static_cast<double>(i));
+    if (i > 0) builder.add(i, i - 1, 2.0);
+    builder.add(i, i, -3.0);
+  }
+  const CsrMatrix m = builder.build();
+  EXPECT_EQ(m.nonzeros(), 3 * n - 2);
+  EXPECT_DOUBLE_EQ(m.at(5000, 5001), 5001.0);
+  std::vector<double> out;
+  m.left_multiply(std::vector<double>(n, 1.0 / static_cast<double>(n)), out);
+  EXPECT_EQ(out.size(), n);
+}
+
+}  // namespace
+}  // namespace kibamrm::linalg

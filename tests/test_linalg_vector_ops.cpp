@@ -1,0 +1,76 @@
+// Tests for linalg/vector_ops kernels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/vector_ops.hpp"
+
+namespace kibamrm::linalg {
+namespace {
+
+TEST(VectorOps, SumIsAccurateOnManyTinyTerms) {
+  // Kahan summation keeps 1e7 additions of 1e-7 at ~1.0 exactly enough.
+  std::vector<double> v(10000000, 1e-7);
+  EXPECT_NEAR(sum(v), 1.0, 1e-12);
+}
+
+TEST(VectorOps, SumOfEmptyVectorIsZero) {
+  EXPECT_DOUBLE_EQ(sum({}), 0.0);
+}
+
+TEST(VectorOps, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+}
+
+TEST(VectorOps, DotRejectsSizeMismatch) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(dot(a, b), InvalidArgument);
+}
+
+TEST(VectorOps, AxpyAccumulates) {
+  std::vector<double> y = {1.0, 1.0};
+  axpy(2.0, {3.0, 4.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+}
+
+TEST(VectorOps, ScaleAndFill) {
+  std::vector<double> v = {1.0, -2.0};
+  scale(v, -3.0);
+  EXPECT_DOUBLE_EQ(v[0], -3.0);
+  EXPECT_DOUBLE_EQ(v[1], 6.0);
+  fill(v, 0.5);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
+}
+
+TEST(VectorOps, Norms) {
+  const std::vector<double> v = {3.0, -4.0, 1.0};
+  EXPECT_DOUBLE_EQ(linf_norm(v), 4.0);
+  EXPECT_DOUBLE_EQ(l1_norm(v), 8.0);
+  EXPECT_DOUBLE_EQ(linf_distance({1.0, 2.0}, {1.5, 1.0}), 1.0);
+}
+
+TEST(VectorOps, NormalizeProbability) {
+  std::vector<double> v = {1.0, 3.0};
+  normalize_probability(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(VectorOps, NormalizeRejectsZeroVector) {
+  std::vector<double> v = {0.0, 0.0};
+  EXPECT_THROW(normalize_probability(v), NumericalError);
+}
+
+TEST(VectorOps, IsProbabilityVector) {
+  EXPECT_TRUE(is_probability_vector({0.25, 0.75}));
+  EXPECT_TRUE(is_probability_vector({1.0, 0.0, 0.0}));
+  EXPECT_FALSE(is_probability_vector({0.5, 0.6}));
+  EXPECT_FALSE(is_probability_vector({1.5, -0.5}));
+}
+
+}  // namespace
+}  // namespace kibamrm::linalg

@@ -1,0 +1,106 @@
+// Tests for CTMC construction and validation.
+#include <gtest/gtest.h>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/markov/ctmc.hpp"
+
+namespace kibamrm::markov {
+namespace {
+
+linalg::CsrMatrix generator_2x2(double a, double b) {
+  linalg::CooBuilder builder(2, 2);
+  builder.add(0, 0, -a);
+  builder.add(0, 1, a);
+  builder.add(1, 0, b);
+  builder.add(1, 1, -b);
+  return builder.build();
+}
+
+TEST(Ctmc, AcceptsValidGenerator) {
+  const Ctmc chain(generator_2x2(2.0, 3.0));
+  EXPECT_EQ(chain.state_count(), 2u);
+  EXPECT_DOUBLE_EQ(chain.exit_rate(0), 2.0);
+  EXPECT_DOUBLE_EQ(chain.exit_rate(1), 3.0);
+  EXPECT_DOUBLE_EQ(chain.max_exit_rate(), 3.0);
+}
+
+TEST(Ctmc, RejectsNonSquare) {
+  linalg::CooBuilder builder(2, 3);
+  builder.add(0, 0, -1.0);
+  builder.add(0, 1, 1.0);
+  EXPECT_THROW(Ctmc(builder.build()), ModelError);
+}
+
+TEST(Ctmc, RejectsNegativeOffDiagonal) {
+  linalg::CooBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 1, -1.0);
+  EXPECT_THROW(Ctmc(builder.build()), ModelError);
+}
+
+TEST(Ctmc, RejectsPositiveDiagonal) {
+  linalg::CooBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(1, 1, -1.0);
+  builder.add(1, 0, 1.0);
+  EXPECT_THROW(Ctmc(builder.build()), ModelError);
+}
+
+TEST(Ctmc, RejectsNonZeroRowSum) {
+  linalg::CooBuilder builder(2, 2);
+  builder.add(0, 0, -1.0);
+  builder.add(0, 1, 2.0);  // row sums to +1
+  EXPECT_THROW(Ctmc(builder.build()), ModelError);
+}
+
+TEST(Ctmc, RowSumToleranceIsRelative) {
+  // A huge exit rate with relative rounding error must still be accepted.
+  linalg::CooBuilder builder(2, 2);
+  const double rate = 1e12;
+  builder.add(0, 0, -rate);
+  builder.add(0, 1, rate * (1.0 + 1e-13));
+  builder.add(1, 0, 1.0);
+  builder.add(1, 1, -1.0);
+  EXPECT_NO_THROW(Ctmc(builder.build()));
+}
+
+TEST(Ctmc, AbsorbingStateDetection) {
+  linalg::CooBuilder builder(2, 2);
+  builder.add(0, 0, -1.0);
+  builder.add(0, 1, 1.0);
+  const Ctmc chain(builder.build());
+  EXPECT_FALSE(chain.is_absorbing(0));
+  EXPECT_TRUE(chain.is_absorbing(1));
+  EXPECT_DOUBLE_EQ(chain.exit_rate(1), 0.0);
+}
+
+TEST(Ctmc, DenseGeneratorCopy) {
+  const Ctmc chain(generator_2x2(2.0, 3.0));
+  const linalg::DenseReal dense = chain.dense_generator();
+  EXPECT_DOUBLE_EQ(dense(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(dense(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(dense(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(dense(1, 1), -3.0);
+}
+
+TEST(CtmcFromRates, BuildsDiagonalAutomatically) {
+  const Ctmc chain = ctmc_from_rates({{0.0, 1.0, 2.0},
+                                      {0.5, 0.0, 0.0},
+                                      {0.0, 0.0, 0.0}});
+  EXPECT_DOUBLE_EQ(chain.exit_rate(0), 3.0);
+  EXPECT_DOUBLE_EQ(chain.exit_rate(1), 0.5);
+  EXPECT_TRUE(chain.is_absorbing(2));
+}
+
+TEST(CtmcFromRates, RejectsRaggedTable) {
+  EXPECT_THROW(ctmc_from_rates({{0.0, 1.0}, {1.0}}), InvalidArgument);
+}
+
+TEST(Ctmc, StateOutOfRangeQueriesRejected) {
+  const Ctmc chain(generator_2x2(1.0, 1.0));
+  EXPECT_THROW(chain.exit_rate(2), InvalidArgument);
+  EXPECT_THROW(chain.is_absorbing(5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace kibamrm::markov

@@ -1,0 +1,125 @@
+// Tests for the Fox-Glynn Poisson windows and Poisson helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/markov/fox_glynn.hpp"
+
+namespace kibamrm::markov {
+namespace {
+
+TEST(PoissonPmf, SmallLambdaExactValues) {
+  EXPECT_NEAR(poisson_pmf(1.0, 0), std::exp(-1.0), 1e-15);
+  EXPECT_NEAR(poisson_pmf(1.0, 1), std::exp(-1.0), 1e-15);
+  EXPECT_NEAR(poisson_pmf(2.0, 2), 2.0 * std::exp(-2.0), 1e-15);
+}
+
+TEST(PoissonPmf, ZeroLambdaDegenerate) {
+  EXPECT_DOUBLE_EQ(poisson_pmf(0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_pmf(0.0, 3), 0.0);
+}
+
+TEST(PoissonPmf, LargeLambdaNoOverflow) {
+  // Mode weight ~ 1/sqrt(2 pi lambda).
+  const double lambda = 50000.0;
+  const double w = poisson_pmf(lambda, 50000);
+  EXPECT_NEAR(w, 1.0 / std::sqrt(2.0 * M_PI * lambda), 1e-6);
+}
+
+TEST(FoxGlynn, DegenerateAtZeroLambda) {
+  const PoissonWindow window = fox_glynn(0.0, 1e-10);
+  EXPECT_EQ(window.left, 0u);
+  EXPECT_EQ(window.right, 0u);
+  EXPECT_DOUBLE_EQ(window.weight(0), 1.0);
+}
+
+TEST(FoxGlynn, RejectsBadArguments) {
+  EXPECT_THROW(fox_glynn(-1.0, 1e-10), InvalidArgument);
+  EXPECT_THROW(fox_glynn(1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(fox_glynn(1.0, 1.5), InvalidArgument);
+}
+
+class FoxGlynnLambdaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FoxGlynnLambdaTest, WeightsSumToOne) {
+  const PoissonWindow window = fox_glynn(GetParam(), 1e-12);
+  double total = 0.0;
+  for (double w : window.weights) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST_P(FoxGlynnLambdaTest, WeightsMatchPmf) {
+  const double lambda = GetParam();
+  const PoissonWindow window = fox_glynn(lambda, 1e-12);
+  // Compare a handful of in-window points against the log-space pmf.
+  for (std::uint64_t n = window.left; n <= window.right;
+       n += 1 + (window.right - window.left) / 7) {
+    EXPECT_NEAR(window.weight(n), poisson_pmf(lambda, n),
+                1e-9 * poisson_pmf(lambda, n) + 1e-300)
+        << "lambda=" << lambda << " n=" << n;
+  }
+}
+
+TEST_P(FoxGlynnLambdaTest, WindowCoversMode) {
+  const double lambda = GetParam();
+  const PoissonWindow window = fox_glynn(lambda, 1e-12);
+  const auto mode = static_cast<std::uint64_t>(std::floor(lambda));
+  EXPECT_LE(window.left, mode);
+  EXPECT_GE(window.right, mode);
+}
+
+TEST_P(FoxGlynnLambdaTest, DroppedTailsAreSmall) {
+  const double lambda = GetParam();
+  const PoissonWindow window = fox_glynn(lambda, 1e-12);
+  // The pmf just outside the window must be below the per-side budget.
+  if (window.left > 0) {
+    EXPECT_LT(poisson_pmf(lambda, window.left - 1), 1e-11);
+  }
+  EXPECT_LT(poisson_pmf(lambda, window.right + 1), 1e-11);
+}
+
+TEST_P(FoxGlynnLambdaTest, WindowWidthScalesLikeSqrtLambda) {
+  const double lambda = GetParam();
+  if (lambda < 10.0) return;
+  const PoissonWindow window = fox_glynn(lambda, 1e-12);
+  const double width = static_cast<double>(window.right - window.left);
+  EXPECT_LT(width, 60.0 * std::sqrt(lambda) + 60.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, FoxGlynnLambdaTest,
+                         ::testing::Values(0.01, 0.5, 1.0, 5.0, 25.0, 100.0,
+                                           1000.0, 46000.0, 300000.0));
+
+TEST(FoxGlynn, WeightOutsideWindowIsZero) {
+  const PoissonWindow window = fox_glynn(100.0, 1e-12);
+  EXPECT_DOUBLE_EQ(window.weight(window.left == 0 ? window.right + 1
+                                                  : window.left - 1),
+                   0.0);
+  EXPECT_DOUBLE_EQ(window.weight(window.right + 1), 0.0);
+}
+
+TEST(PoissonTail, MatchesDirectSummation) {
+  const double lambda = 7.5;
+  for (std::uint64_t n : {0ULL, 1ULL, 5ULL, 8ULL, 15ULL}) {
+    double direct = 0.0;
+    for (std::uint64_t m = 0; m < n; ++m) direct += poisson_pmf(lambda, m);
+    EXPECT_NEAR(poisson_tail(lambda, n), 1.0 - direct, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(PoissonTail, EdgeCases) {
+  EXPECT_DOUBLE_EQ(poisson_tail(5.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_tail(0.0, 1), 0.0);
+  // Far tails saturate.
+  EXPECT_NEAR(poisson_tail(10.0, 1), 1.0, 1e-4);
+  EXPECT_NEAR(poisson_tail(10.0, 100), 0.0, 1e-12);
+}
+
+TEST(PoissonTail, MedianOfLargeLambdaNearHalf) {
+  // Pr{N >= lambda} ~ 1/2 for large lambda.
+  EXPECT_NEAR(poisson_tail(10000.0, 10000), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace kibamrm::markov

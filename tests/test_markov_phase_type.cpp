@@ -1,0 +1,126 @@
+// Tests for phase-type distributions and the Erlang helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/common/random.hpp"
+#include "kibamrm/markov/phase_type.hpp"
+
+namespace kibamrm::markov {
+namespace {
+
+TEST(ErlangCdf, MatchesClosedFormSmallK) {
+  const double rate = 2.0;
+  for (double t : {0.1, 0.5, 1.0, 2.0}) {
+    // Erlang-1 = exponential.
+    EXPECT_NEAR(erlang_cdf(1, rate, t), 1.0 - std::exp(-rate * t), 1e-10);
+    // Erlang-2 closed form.
+    const double x = rate * t;
+    EXPECT_NEAR(erlang_cdf(2, rate, t), 1.0 - std::exp(-x) * (1.0 + x),
+                1e-10);
+  }
+}
+
+TEST(ErlangCdf, ZeroAndEdge) {
+  EXPECT_DOUBLE_EQ(erlang_cdf(3, 1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_cdf(3, 1.0, -1.0), 0.0);
+  EXPECT_THROW(erlang_cdf(0, 1.0, 1.0), kibamrm::InvalidArgument);
+  EXPECT_THROW(erlang_cdf(1, 0.0, 1.0), kibamrm::InvalidArgument);
+}
+
+TEST(ErlangCdf, HugeShapeIsStable) {
+  // Sec. 6.1: total on-time ~ Erlang_15000(2/s), nearly deterministic with
+  // mean 7500 s.  The CDF must be ~0 well below and ~1 well above the mean.
+  const int k = 15000;
+  const double rate = 2.0;
+  EXPECT_NEAR(erlang_cdf(k, rate, 7200.0), 0.0, 1e-3);
+  EXPECT_NEAR(erlang_cdf(k, rate, 7800.0), 1.0, 1e-3);
+  EXPECT_NEAR(erlang_cdf(k, rate, 7500.0), 0.5, 0.02);
+}
+
+TEST(ErlangCdf, MonotoneInT) {
+  double prev = 0.0;
+  for (double t = 0.0; t <= 5.0; t += 0.25) {
+    const double cur = erlang_cdf(4, 1.5, t);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(ErlangMoments, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(erlang_mean(6, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(erlang_variance(6, 3.0), 6.0 / 9.0);
+}
+
+TEST(PhaseType, ExponentialCdfAndPdf) {
+  const PhaseType exp_ph = PhaseType::exponential(2.0);
+  EXPECT_EQ(exp_ph.phases(), 1u);
+  for (double t : {0.0, 0.3, 1.0, 2.5}) {
+    EXPECT_NEAR(exp_ph.cdf(t), 1.0 - std::exp(-2.0 * t), 1e-12);
+    EXPECT_NEAR(exp_ph.pdf(t), 2.0 * std::exp(-2.0 * t), 1e-12);
+  }
+  EXPECT_NEAR(exp_ph.mean(), 0.5, 1e-12);
+}
+
+TEST(PhaseType, ErlangAgainstDirectCdf) {
+  const PhaseType ph = PhaseType::erlang(4, 3.0);
+  EXPECT_EQ(ph.phases(), 4u);
+  for (double t : {0.2, 1.0, 2.0}) {
+    EXPECT_NEAR(ph.cdf(t), erlang_cdf(4, 3.0, t), 1e-9) << "t=" << t;
+  }
+  EXPECT_NEAR(ph.mean(), erlang_mean(4, 3.0), 1e-10);
+}
+
+TEST(PhaseType, AlphaDeficitIsAtomAtZero) {
+  // alpha sums to 0.6: with probability 0.4 the value is exactly 0.
+  linalg::DenseReal t(1, 1);
+  t(0, 0) = -1.0;
+  const PhaseType ph({0.6}, t);
+  EXPECT_NEAR(ph.cdf(0.0), 0.4, 1e-12);
+}
+
+TEST(PhaseType, SampleMomentsMatchTheory) {
+  const PhaseType ph = PhaseType::erlang(3, 2.0);
+  common::RandomStream rng(2024);
+  const int n = 40000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += ph.sample(rng);
+  EXPECT_NEAR(sum / n, 1.5, 0.03);
+}
+
+TEST(PhaseType, ValidationRejectsBadInputs) {
+  linalg::DenseReal good(1, 1);
+  good(0, 0) = -1.0;
+  EXPECT_THROW(PhaseType({1.5}, good), kibamrm::InvalidArgument);   // alpha > 1
+  EXPECT_THROW(PhaseType({-0.1}, good), kibamrm::InvalidArgument);  // alpha < 0
+  linalg::DenseReal positive_row(1, 1);
+  positive_row(0, 0) = 1.0;  // row sum > 0
+  EXPECT_THROW(PhaseType({1.0}, positive_row), kibamrm::InvalidArgument);
+  linalg::DenseReal wrong_shape(2, 1);
+  EXPECT_THROW(PhaseType({1.0}, wrong_shape), kibamrm::InvalidArgument);
+}
+
+class ErlangConvergenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ErlangConvergenceTest, ConcentratesAroundMeanAsKGrows) {
+  // Relative spread (std/mean) = 1/sqrt(K): the Sec. 4.3 mechanism for
+  // approximating deterministic on/off times.
+  const int k = GetParam();
+  const double rate = static_cast<double>(k);  // mean fixed at 1
+  const double below = erlang_cdf(k, rate, 0.7);
+  const double above = erlang_cdf(k, rate, 1.3);
+  if (k >= 64) {
+    EXPECT_LT(below, 0.02);
+    EXPECT_GT(above, 0.98);
+  }
+  // Larger K concentrates more.
+  const double spread = above - below;
+  EXPECT_GT(spread, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ErlangConvergenceTest,
+                         ::testing::Values(1, 4, 16, 64, 256));
+
+}  // namespace
+}  // namespace kibamrm::markov

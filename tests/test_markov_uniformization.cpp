@@ -1,0 +1,163 @@
+// Tests for the uniformisation transient solver, cross-checked against
+// closed forms and the independent dense matrix exponential.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/expm.hpp"
+#include "kibamrm/linalg/vector_ops.hpp"
+#include "kibamrm/markov/ctmc.hpp"
+#include "kibamrm/markov/uniformization.hpp"
+
+namespace kibamrm::markov {
+namespace {
+
+Ctmc two_state(double a, double b) {
+  return ctmc_from_rates({{0.0, a}, {b, 0.0}});
+}
+
+// Closed form for the two-state chain started in state 0:
+// pi_0(t) = b/(a+b) + a/(a+b) e^{-(a+b)t}.
+double two_state_p0(double a, double b, double t) {
+  return b / (a + b) + a / (a + b) * std::exp(-(a + b) * t);
+}
+
+TEST(Uniformization, TwoStateMatchesClosedForm) {
+  const double a = 2.0;
+  const double b = 0.5;
+  const Ctmc chain = two_state(a, b);
+  for (double t : {0.0, 0.1, 0.5, 1.0, 5.0, 50.0}) {
+    const auto pi = transient_distribution(chain, {1.0, 0.0}, t);
+    EXPECT_NEAR(pi[0], two_state_p0(a, b, t), 1e-9) << "t=" << t;
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+  }
+}
+
+TEST(Uniformization, MatchesDenseMatrixExponential) {
+  // 4-state random-ish generator; compare against alpha * expm(Q t).
+  const Ctmc chain = ctmc_from_rates({{0.0, 1.2, 0.3, 0.0},
+                                      {0.4, 0.0, 2.0, 0.1},
+                                      {0.0, 0.7, 0.0, 0.9},
+                                      {1.5, 0.0, 0.2, 0.0}});
+  const std::vector<double> alpha = {0.25, 0.25, 0.25, 0.25};
+  const double t = 1.7;
+  const auto pi = transient_distribution(chain, alpha, t);
+  const linalg::DenseReal e = linalg::expm(chain.dense_generator().scaled(t));
+  const std::vector<double> expected = e.left_multiply(alpha);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(pi[i], expected[i], 1e-10) << "state " << i;
+  }
+}
+
+TEST(Uniformization, TimeZeroReturnsInitial) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  const auto pi = transient_distribution(chain, {0.3, 0.7}, 0.0);
+  EXPECT_DOUBLE_EQ(pi[0], 0.3);
+  EXPECT_DOUBLE_EQ(pi[1], 0.7);
+}
+
+TEST(Uniformization, IncrementalMultiPointMatchesOneShot) {
+  const Ctmc chain = two_state(3.0, 0.7);
+  TransientSolver solver(chain);
+  const std::vector<double> times = {0.25, 0.5, 1.0, 2.0, 4.0};
+  const auto curves = solver.solve({1.0, 0.0}, times);
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    const auto direct = transient_distribution(chain, {1.0, 0.0}, times[k]);
+    EXPECT_NEAR(curves[k][0], direct[0], 1e-9) << "t=" << times[k];
+  }
+}
+
+TEST(Uniformization, RepeatedTimePointsAllowed) {
+  const Ctmc chain = two_state(1.0, 2.0);
+  TransientSolver solver(chain);
+  const auto curves = solver.solve({1.0, 0.0}, {1.0, 1.0, 1.0});
+  EXPECT_NEAR(curves[0][0], curves[2][0], 1e-15);
+}
+
+TEST(Uniformization, AbsorbingChainAccumulatesMass) {
+  // 0 -> 1 at rate 2, state 1 absorbing: pi_1(t) = 1 - e^{-2t}.
+  const Ctmc chain = ctmc_from_rates({{0.0, 2.0}, {0.0, 0.0}});
+  for (double t : {0.1, 1.0, 3.0}) {
+    const auto pi = transient_distribution(chain, {1.0, 0.0}, t);
+    EXPECT_NEAR(pi[1], 1.0 - std::exp(-2.0 * t), 1e-10);
+  }
+}
+
+TEST(Uniformization, AllAbsorbingChainIsConstant) {
+  const Ctmc chain = ctmc_from_rates({{0.0, 0.0}, {0.0, 0.0}});
+  const auto pi = transient_distribution(chain, {0.4, 0.6}, 10.0);
+  EXPECT_NEAR(pi[0], 0.4, 1e-12);
+  EXPECT_NEAR(pi[1], 0.6, 1e-12);
+}
+
+TEST(Uniformization, ErlangAbsorptionProbability) {
+  // Chain 0->1->2->absorbing(3), all rate r: absorption by t is the
+  // Erlang-3 CDF.
+  const double r = 4.0;
+  const Ctmc chain = ctmc_from_rates({{0.0, r, 0.0, 0.0},
+                                      {0.0, 0.0, r, 0.0},
+                                      {0.0, 0.0, 0.0, r},
+                                      {0.0, 0.0, 0.0, 0.0}});
+  const double t = 0.8;
+  const auto pi = transient_distribution(chain, {1.0, 0.0, 0.0, 0.0}, t);
+  const double x = r * t;
+  const double erlang3 =
+      1.0 - std::exp(-x) * (1.0 + x + x * x / 2.0);
+  EXPECT_NEAR(pi[3], erlang3, 1e-10);
+}
+
+TEST(Uniformization, LongHorizonReachesSteadyState) {
+  const Ctmc chain = two_state(2.0, 6.0);
+  const auto pi = transient_distribution(chain, {0.0, 1.0}, 500.0);
+  EXPECT_NEAR(pi[0], 0.75, 1e-9);
+  EXPECT_NEAR(pi[1], 0.25, 1e-9);
+}
+
+TEST(Uniformization, StatsReportIterationsAndRate) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  TransientSolver solver(chain);
+  solver.solve({1.0, 0.0}, {10.0});
+  const TransientStats& stats = solver.last_stats();
+  EXPECT_GT(stats.iterations, 5u);   // ~ q t = 1.02 * 10 plus window
+  EXPECT_LT(stats.iterations, 200u);
+  // Auto rate is 1.02 * max_exit_rate = 1.02 * 1.0.
+  EXPECT_NEAR(stats.uniformization_rate, 1.02, 0.01);
+  EXPECT_EQ(stats.time_points, 1u);
+}
+
+TEST(Uniformization, CustomUniformizationRateAccepted) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  TransientSolver fast(chain, {.uniformization_rate = 10.0});
+  const auto pi = fast.solve({1.0, 0.0}, {1.0}).front();
+  EXPECT_NEAR(pi[0], two_state_p0(1.0, 1.0, 1.0), 1e-9);
+}
+
+TEST(Uniformization, RejectsBadInputs) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  TransientSolver solver(chain);
+  const std::vector<double> good = {1.0, 0.0};
+  EXPECT_THROW(solver.solve({1.0}, {1.0}), InvalidArgument);        // dim
+  EXPECT_THROW(solver.solve({0.7, 0.7}, {1.0}), InvalidArgument);   // not dist
+  EXPECT_THROW(solver.solve(good, {2.0, 1.0}), InvalidArgument);    // unsorted
+  EXPECT_THROW(solver.solve(good, {-1.0}), InvalidArgument);        // negative
+  EXPECT_THROW(TransientSolver(chain, {.uniformization_rate = 0.5}),
+               InvalidArgument);  // rate below max exit rate
+}
+
+TEST(Uniformization, ProbabilityVectorStaysNormalised) {
+  // Long run over many increments: renormalisation keeps the sum at 1.
+  const Ctmc chain = ctmc_from_rates({{0.0, 5.0, 0.0},
+                                      {1.0, 0.0, 4.0},
+                                      {0.0, 2.0, 0.0}});
+  TransientSolver solver(chain);
+  std::vector<double> times;
+  for (int i = 1; i <= 200; ++i) times.push_back(0.5 * i);
+  const auto curves = solver.solve({1.0, 0.0, 0.0}, times);
+  for (const auto& pi : curves) {
+    EXPECT_NEAR(linalg::sum(pi), 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace kibamrm::markov

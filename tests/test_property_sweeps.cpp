@@ -1,0 +1,148 @@
+// Parameterized property sweeps: physical invariants of the KiBaM and
+// structural invariants of the Markovian approximation, asserted over a
+// grid of battery/load configurations rather than hand-picked points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "kibamrm/battery/kibam.hpp"
+#include "kibamrm/battery/lifetime.hpp"
+#include "kibamrm/core/approx_solver.hpp"
+#include "kibamrm/linalg/vector_ops.hpp"
+#include "kibamrm/markov/uniformization.hpp"
+#include "kibamrm/workload/onoff_model.hpp"
+
+namespace kibamrm {
+namespace {
+
+// ------------------------------------------------ KiBaM physical invariants
+
+// (capacity, available fraction c, flow constant k, current I).
+using KibamConfig = std::tuple<double, double, double, double>;
+
+class KibamInvariantTest : public ::testing::TestWithParam<KibamConfig> {};
+
+TEST_P(KibamInvariantTest, LifetimeBracketedByAvailableAndTotalCharge) {
+  const auto [capacity, c, k, current] = GetParam();
+  battery::KibamBattery model({capacity, c, k});
+  const auto life = battery::compute_lifetime(
+      model, battery::LoadProfile::constant(current), {.max_time = 1e12});
+  ASSERT_TRUE(life.has_value());
+  // Never better than draining the full capacity, never worse than
+  // draining only the initially available charge.
+  EXPECT_GE(*life, c * capacity / current * (1.0 - 1e-9));
+  EXPECT_LE(*life, capacity / current * (1.0 + 1e-9));
+}
+
+TEST_P(KibamInvariantTest, ChargeConservedAndWellsNonNegative) {
+  const auto [capacity, c, k, current] = GetParam();
+  battery::KibamBattery model({capacity, c, k});
+  double drained = 0.0;
+  const double dt = 0.05 * capacity / current / 20.0;
+  for (int step = 0; step < 20 && !model.empty(); ++step) {
+    const auto crossing = model.advance(current, dt);
+    drained += current * (crossing ? *crossing : dt);
+    EXPECT_GE(model.available_charge(), 0.0);
+    EXPECT_GE(model.bound_charge(), 0.0);
+    if (!crossing) {
+      EXPECT_NEAR(model.total_charge(), capacity - drained,
+                  1e-9 * capacity);
+    }
+  }
+}
+
+TEST_P(KibamInvariantTest, PulsedLifetimeAtLeastTwiceContinuousOnTime) {
+  const auto [capacity, c, k, current] = GetParam();
+  battery::KibamBattery continuous({capacity, c, k});
+  const double life_cont = *battery::compute_lifetime(
+      continuous, battery::LoadProfile::constant(current),
+      {.max_time = 1e12});
+  battery::KibamBattery pulsed({capacity, c, k});
+  // Period two orders below the continuous lifetime.
+  const double freq = 100.0 / life_cont;
+  const double life_pulsed = *battery::compute_lifetime(
+      pulsed, battery::LoadProfile::square_wave(freq, current),
+      {.max_time = 1e13});
+  // 50% duty: wall-clock at least ~2x the continuous lifetime, and the
+  // recovery effect can only add on top.
+  EXPECT_GE(life_pulsed, 2.0 * life_cont * (1.0 - 2.0 / 100.0));
+}
+
+TEST_P(KibamInvariantTest, RestNeverDecreasesAvailableCharge) {
+  const auto [capacity, c, k, current] = GetParam();
+  battery::KibamBattery model({capacity, c, k});
+  model.advance(current, 0.25 * c * capacity / current);
+  const double before = model.available_charge();
+  model.advance(0.0, 1.0 / (k > 0.0 ? k : 1.0));
+  EXPECT_GE(model.available_charge(), before - 1e-9 * capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KibamInvariantTest,
+    ::testing::Values(
+        KibamConfig{7200.0, 0.625, 4.5e-5, 0.96},   // the paper's cell
+        KibamConfig{7200.0, 0.625, 4.5e-5, 0.10},   // light load
+        KibamConfig{7200.0, 0.625, 4.5e-5, 5.00},   // heavy load
+        KibamConfig{7200.0, 0.900, 4.5e-5, 0.96},   // mostly available
+        KibamConfig{7200.0, 0.200, 4.5e-5, 0.96},   // mostly bound
+        KibamConfig{7200.0, 0.625, 1.0e-3, 0.96},   // fast well flow
+        KibamConfig{7200.0, 0.625, 1.0e-7, 0.96},   // nearly frozen flow
+        KibamConfig{100.0, 0.500, 1.0e-2, 2.00},    // small cell
+        KibamConfig{2880.0, 0.625, 1.6e-1, 54.0})); // mAh/hour units
+
+// ------------------------------------- approximation structural invariants
+
+class ApproxStructureTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ApproxStructureTest, StateCountMatchesGridFormula) {
+  const double delta = GetParam();
+  const core::KibamRmModel model(
+      workload::make_onoff_model({.frequency = 1.0, .erlang_k = 1,
+                                  .on_current = 0.96}),
+      {.capacity = 7200.0, .available_fraction = 0.625,
+       .flow_constant = 4.5e-5});
+  core::MarkovianApproximation solver(model, {.delta = delta});
+  const auto l1 = static_cast<std::size_t>(std::llround(4500.0 / delta));
+  const auto l2 = static_cast<std::size_t>(std::llround(2700.0 / delta));
+  EXPECT_EQ(solver.last_stats().expanded_states, (l1 + 1) * (l2 + 1) * 2);
+}
+
+TEST_P(ApproxStructureTest, ProbabilityMassConservedAlongTheCurve) {
+  const double delta = GetParam();
+  const core::KibamRmModel model(
+      workload::make_onoff_model({.frequency = 1.0, .erlang_k = 1,
+                                  .on_current = 0.96}),
+      {.capacity = 7200.0, .available_fraction = 0.625,
+       .flow_constant = 4.5e-5});
+  const auto expanded = core::build_expanded_chain(model, delta);
+  markov::TransientSolver solver(expanded.chain, {.renormalize = false});
+  const auto pis =
+      solver.solve(expanded.initial, {2000.0, 8000.0, 14000.0});
+  for (const auto& pi : pis) {
+    EXPECT_NEAR(linalg::sum(pi), 1.0, 1e-8);
+    for (double p : pi) EXPECT_GE(p, -1e-12);
+  }
+}
+
+TEST_P(ApproxStructureTest, EmptyProbabilityMonotoneAndWithinBounds) {
+  const double delta = GetParam();
+  const core::KibamRmModel model(
+      workload::make_onoff_model({.frequency = 1.0, .erlang_k = 1,
+                                  .on_current = 0.96}),
+      {.capacity = 7200.0, .available_fraction = 0.625,
+       .flow_constant = 4.5e-5});
+  core::MarkovianApproximation solver(model, {.delta = delta});
+  // LifetimeCurve's constructor enforces monotonicity/bounds; surviving
+  // construction across the sweep is the assertion.
+  const auto curve = solver.solve(core::uniform_grid(1000.0, 25000.0, 25));
+  EXPECT_GE(curve.probabilities().front(), 0.0);
+  EXPECT_GT(curve.probabilities().back(), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, ApproxStructureTest,
+                         ::testing::Values(900.0, 450.0, 300.0, 180.0,
+                                           100.0));
+
+}  // namespace
+}  // namespace kibamrm

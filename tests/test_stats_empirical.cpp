@@ -1,0 +1,123 @@
+// Tests for stats/empirical.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/common/random.hpp"
+#include "kibamrm/stats/empirical.hpp"
+
+namespace kibamrm::stats {
+namespace {
+
+TEST(Empirical, CdfStepsAtSamples) {
+  const EmpiricalDistribution dist({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(dist.cdf(0.5), 0.0);
+  EXPECT_NEAR(dist.cdf(1.0), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(dist.cdf(1.5), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(dist.cdf(2.0), 2.0 / 3.0, 1e-15);
+  EXPECT_DOUBLE_EQ(dist.cdf(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(99.0), 1.0);
+}
+
+TEST(Empirical, SamplesSortedAndExtremes) {
+  const EmpiricalDistribution dist({5.0, -1.0, 2.0});
+  EXPECT_DOUBLE_EQ(dist.min(), -1.0);
+  EXPECT_DOUBLE_EQ(dist.max(), 5.0);
+  EXPECT_TRUE(std::is_sorted(dist.sorted_samples().begin(),
+                             dist.sorted_samples().end()));
+}
+
+TEST(Empirical, MomentsMatchHandComputation) {
+  const EmpiricalDistribution dist({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(dist.mean(), 2.5);
+  EXPECT_NEAR(dist.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(dist.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Empirical, SingleSampleDegenerate) {
+  const EmpiricalDistribution dist({7.0});
+  EXPECT_DOUBLE_EQ(dist.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(dist.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(0.3), 7.0);
+}
+
+TEST(Empirical, EmptyRejected) {
+  EXPECT_THROW(EmpiricalDistribution({}), InvalidArgument);
+}
+
+TEST(Empirical, QuantileInterpolates) {
+  const EmpiricalDistribution dist({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(dist.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(1.0), 10.0);
+  EXPECT_THROW(dist.quantile(1.5), InvalidArgument);
+}
+
+TEST(Empirical, MedianOfUniformSamplesNearHalf) {
+  common::RandomStream rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.uniform());
+  const EmpiricalDistribution dist(std::move(samples));
+  EXPECT_NEAR(dist.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(dist.mean(), 0.5, 0.01);
+  EXPECT_NEAR(dist.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Empirical, ConfidenceIntervalShrinksWithSamples) {
+  common::RandomStream rng(6);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 100; ++i) small.push_back(rng.exponential(1.0));
+  for (int i = 0; i < 10000; ++i) large.push_back(rng.exponential(1.0));
+  const double hw_small = EmpiricalDistribution(small).mean_ci_halfwidth();
+  const double hw_large = EmpiricalDistribution(large).mean_ci_halfwidth();
+  EXPECT_GT(hw_small, hw_large);
+  // ~ z * sigma / sqrt(n) with sigma = 1: 1.96/sqrt(10000) ~ 0.0196.
+  EXPECT_NEAR(hw_large, 0.0196, 0.004);
+}
+
+TEST(Empirical, ConfidenceLevelOrdering) {
+  common::RandomStream rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.uniform());
+  const EmpiricalDistribution dist(std::move(samples));
+  EXPECT_LT(dist.mean_ci_halfwidth(0.90), dist.mean_ci_halfwidth(0.95));
+  EXPECT_LT(dist.mean_ci_halfwidth(0.95), dist.mean_ci_halfwidth(0.99));
+  EXPECT_THROW(dist.mean_ci_halfwidth(1.0), InvalidArgument);
+}
+
+TEST(Empirical, KsDistanceIdenticalIsZero) {
+  const EmpiricalDistribution a({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ks_distance(a, a), 0.0);
+}
+
+TEST(Empirical, KsDistanceDisjointIsOne) {
+  const EmpiricalDistribution a({1.0, 2.0});
+  const EmpiricalDistribution b({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 1.0);
+}
+
+TEST(Empirical, KsDistanceSameDistributionSmall) {
+  common::RandomStream rng(8);
+  std::vector<double> s1;
+  std::vector<double> s2;
+  for (int i = 0; i < 5000; ++i) s1.push_back(rng.exponential(2.0));
+  for (int i = 0; i < 5000; ++i) s2.push_back(rng.exponential(2.0));
+  EXPECT_LT(ks_distance(EmpiricalDistribution(s1), EmpiricalDistribution(s2)),
+            0.05);
+}
+
+TEST(Empirical, KsDistanceToCdfGrid) {
+  const EmpiricalDistribution a({1.0, 2.0, 3.0, 4.0});
+  // Perfect grid CDF matching the ECDF at the grid points.
+  const std::vector<double> grid = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> cdf = {0.25, 0.5, 0.75, 1.0};
+  EXPECT_DOUBLE_EQ(ks_distance_to_cdf(a, grid, cdf), 0.0);
+  const std::vector<double> off = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(ks_distance_to_cdf(a, grid, off), 0.5);
+  EXPECT_THROW(ks_distance_to_cdf(a, grid, {0.1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace kibamrm::stats

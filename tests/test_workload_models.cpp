@@ -1,0 +1,166 @@
+// Tests for the workload models of Sec. 4.3 and their builders.
+#include <gtest/gtest.h>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/markov/steady_state.hpp"
+#include "kibamrm/workload/burst_model.hpp"
+#include "kibamrm/workload/onoff_model.hpp"
+#include "kibamrm/workload/simple_model.hpp"
+#include "kibamrm/workload/workload_model.hpp"
+
+namespace kibamrm::workload {
+namespace {
+
+TEST(WorkloadBuilder, BuildsValidatedModel) {
+  WorkloadBuilder builder;
+  const std::size_t a = builder.add_state("a", 1.0);
+  const std::size_t b = builder.add_state("b", 0.0);
+  builder.add_transition(a, b, 2.0);
+  builder.add_transition(b, a, 3.0);
+  builder.set_initial_state(a);
+  const WorkloadModel model = builder.build();
+  EXPECT_EQ(model.state_count(), 2u);
+  EXPECT_DOUBLE_EQ(model.current(0), 1.0);
+  EXPECT_DOUBLE_EQ(model.max_current(), 1.0);
+  EXPECT_DOUBLE_EQ(model.initial_distribution()[0], 1.0);
+  EXPECT_EQ(model.state_names()[1], "b");
+}
+
+TEST(WorkloadBuilder, RejectsInvalidConstruction) {
+  WorkloadBuilder builder;
+  EXPECT_THROW(builder.build(), InvalidArgument);  // no states
+  const std::size_t a = builder.add_state("a", 1.0);
+  EXPECT_THROW(builder.add_transition(a, a, 1.0), InvalidArgument);  // loop
+  EXPECT_THROW(builder.add_transition(a, 5, 1.0), InvalidArgument);
+  EXPECT_THROW(builder.add_transition(a, a + 0, -1.0), InvalidArgument);
+  EXPECT_THROW(builder.build(), InvalidArgument);  // no initial state
+}
+
+TEST(WorkloadModel, RejectsNegativeCurrents) {
+  markov::Ctmc chain = markov::ctmc_from_rates({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_THROW(WorkloadModel(std::move(chain), {-1.0, 0.0}, {1.0, 0.0},
+                             {"a", "b"}),
+               ModelError);
+}
+
+TEST(WorkloadModel, RejectsSizeMismatches) {
+  markov::Ctmc chain = markov::ctmc_from_rates({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_THROW(WorkloadModel(std::move(chain), {1.0}, {1.0, 0.0}, {"a", "b"}),
+               ModelError);
+}
+
+TEST(OnOffModel, StructureAndRates) {
+  // f = 1 Hz, K = 1: two states toggling at lambda = 2 f K = 2.
+  const WorkloadModel model =
+      make_onoff_model({.frequency = 1.0, .erlang_k = 1, .on_current = 0.96});
+  EXPECT_EQ(model.state_count(), 2u);
+  EXPECT_DOUBLE_EQ(model.current(0), 0.96);
+  EXPECT_DOUBLE_EQ(model.current(1), 0.0);
+  EXPECT_DOUBLE_EQ(model.chain().exit_rate(0), 2.0);
+  EXPECT_DOUBLE_EQ(model.chain().exit_rate(1), 2.0);
+  EXPECT_DOUBLE_EQ(model.initial_distribution()[0], 1.0);
+}
+
+class OnOffErlangTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OnOffErlangTest, PhaseRateKeepsFrequency) {
+  // Expected on-time is K/(2 f K) = 1/(2f) regardless of K (Sec. 4.3).
+  const int k = GetParam();
+  const double f = 0.25;
+  const WorkloadModel model =
+      make_onoff_model({.frequency = f, .erlang_k = k, .on_current = 1.0});
+  EXPECT_EQ(model.state_count(), static_cast<std::size_t>(2 * k));
+  for (std::size_t i = 0; i < model.state_count(); ++i) {
+    EXPECT_DOUBLE_EQ(model.chain().exit_rate(i), 2.0 * f * k);
+  }
+  // Steady state: half the time on.
+  const auto pi = markov::steady_state(model.chain());
+  double on_prob = 0.0;
+  for (int i = 0; i < k; ++i) on_prob += pi[static_cast<std::size_t>(i)];
+  EXPECT_NEAR(on_prob, 0.5, 1e-10);
+  EXPECT_NEAR(model.steady_state_current(), 0.5, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, OnOffErlangTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(OnOffModel, StartOffOption) {
+  const WorkloadModel model = make_onoff_model(
+      {.frequency = 1.0, .erlang_k = 3, .on_current = 1.0, .start_on = false});
+  EXPECT_DOUBLE_EQ(model.initial_distribution()[3], 1.0);
+}
+
+TEST(SimpleModel, PaperDefaults) {
+  const WorkloadModel model = make_simple_model();
+  EXPECT_EQ(model.state_count(), 3u);
+  EXPECT_EQ(model.state_names()[0], "idle");
+  EXPECT_DOUBLE_EQ(model.current(0), 8.0);
+  EXPECT_DOUBLE_EQ(model.current(1), 200.0);
+  EXPECT_DOUBLE_EQ(model.current(2), 0.0);
+  // idle exits at lambda + tau = 3/h; send at mu = 6/h; sleep at lambda.
+  EXPECT_DOUBLE_EQ(model.chain().exit_rate(0), 3.0);
+  EXPECT_DOUBLE_EQ(model.chain().exit_rate(1), 6.0);
+  EXPECT_DOUBLE_EQ(model.chain().exit_rate(2), 2.0);
+}
+
+TEST(SimpleModel, SteadyStateSendProbabilityIsQuarter) {
+  // Balance equations give pi = (1/2, 1/4, 1/4).
+  const auto pi = markov::steady_state(make_simple_model().chain());
+  EXPECT_NEAR(pi[0], 0.5, 1e-10);
+  EXPECT_NEAR(pi[1], 0.25, 1e-10);
+  EXPECT_NEAR(pi[2], 0.25, 1e-10);
+}
+
+TEST(SimpleModel, SteadyStateCurrent) {
+  // 0.5*8 + 0.25*200 + 0.25*0 = 54 mA.
+  EXPECT_NEAR(make_simple_model().steady_state_current(), 54.0, 1e-9);
+}
+
+TEST(BurstModel, PaperDefaults) {
+  const WorkloadModel model = make_burst_model();
+  EXPECT_EQ(model.state_count(), 5u);
+  EXPECT_DOUBLE_EQ(model.current(
+                       static_cast<std::size_t>(BurstState::kOnSend)),
+                   200.0);
+  EXPECT_DOUBLE_EQ(model.current(static_cast<std::size_t>(BurstState::kSleep)),
+                   0.0);
+}
+
+TEST(BurstModel, LambdaBurstCalibrationMatchesSimpleModel) {
+  // Sec. 4.3: lambda_burst = 182/h makes the steady-state send probability
+  // equal to the simple model's 1/4.
+  EXPECT_NEAR(burst_send_probability(make_burst_model()), 0.25, 0.002);
+}
+
+TEST(BurstModel, SleepsMoreThanSimpleModel) {
+  // "As could be expected, the steady-state probability to be in sleep is
+  // higher in the burst model than in the simple model."
+  const auto pi_simple = markov::steady_state(make_simple_model().chain());
+  const auto pi_burst = markov::steady_state(make_burst_model().chain());
+  const double sleep_simple =
+      pi_simple[static_cast<std::size_t>(SimpleState::kSleep)];
+  const double sleep_burst =
+      pi_burst[static_cast<std::size_t>(BurstState::kSleep)];
+  EXPECT_GT(sleep_burst, sleep_simple);
+}
+
+TEST(BurstModel, LowerSteadyCurrentThanSimple) {
+  // More sleep at the same send share => lower average draw.
+  EXPECT_LT(make_burst_model().steady_state_current(),
+            make_simple_model().steady_state_current());
+}
+
+TEST(Models, ParameterValidation) {
+  EXPECT_THROW(make_onoff_model({.frequency = 0.0}), InvalidArgument);
+  EXPECT_THROW(make_onoff_model({.frequency = 1.0, .erlang_k = 0}),
+               InvalidArgument);
+  SimpleModelParameters bad_simple;
+  bad_simple.send_finish_rate = 0.0;
+  EXPECT_THROW(make_simple_model(bad_simple), InvalidArgument);
+  BurstModelParameters bad_burst;
+  bad_burst.switch_on_rate = 0.0;
+  EXPECT_THROW(make_burst_model(bad_burst), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace kibamrm::workload

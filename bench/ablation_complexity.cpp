@@ -6,11 +6,12 @@
 // horizon.  Expected scaling: states ~ Delta^-1 (single well) / Delta^-2
 // (two wells); iterations grow once the consumption rate I/Delta exceeds
 // the workload rates (the paper's "q gets linear in 1/Delta" regime).
-#include <chrono>
+// --engine swaps the transient backend to compare iteration economics.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "kibamrm/core/approx_solver.hpp"
+#include "kibamrm/engine/transient_backend.hpp"
 #include "kibamrm/workload/onoff_model.hpp"
 
 namespace {
@@ -18,26 +19,23 @@ namespace {
 using namespace kibamrm;
 
 void sweep(const core::KibamRmModel& model, const std::vector<double>& deltas,
-           const char* title, const common::CliArgs& args,
-           const std::string& csv_name) {
+           const char* title, const std::string& engine,
+           const common::CliArgs& args, const std::string& csv_name,
+           bench::BenchReport& report) {
   std::cout << "--- " << title << " ---\n";
   io::Table table({"Delta", "states", "nonzeros", "q (1/s)", "iterations",
                    "solve time (s)"});
   for (double delta : deltas) {
-    const auto start = std::chrono::steady_clock::now();
-    core::MarkovianApproximation solver(model, {.delta = delta});
-    solver.solve({17000.0});
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-    const auto& stats = solver.last_stats();
+    const auto run = bench::run_approximation(
+        model, {.delta = delta, .engine = engine}, {17000.0});
+    if (run.skipped) continue;
     table.add_row({io::format_double(delta, 0),
-                   std::to_string(stats.expanded_states),
-                   std::to_string(stats.generator_nonzeros),
-                   io::format_double(stats.uniformization_rate, 3),
-                   std::to_string(stats.uniformization_iterations),
-                   io::format_double(seconds, 3)});
+                   std::to_string(run.stats.expanded_states),
+                   std::to_string(run.stats.generator_nonzeros),
+                   io::format_double(run.stats.uniformization_rate, 3),
+                   std::to_string(run.stats.uniformization_iterations),
+                   io::format_double(run.wall_seconds, 3)});
+    bench::add_engine_record(report, run, delta).field("sweep", title);
   }
   bench::emit(table, args, csv_name);
 }
@@ -46,21 +44,24 @@ void sweep(const core::KibamRmModel& model, const std::vector<double>& deltas,
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
-  args.declare("csv").declare("full");
+  args.declare("csv").declare("full").declare("engine").declare("json");
   args.validate();
+  const std::string engine =
+      args.get_choice("engine", "uniformization", engine::backend_names());
 
-  std::cout << "=== Ablation: Sec. 5.3 complexity scaling (t = 17000 s) "
-               "===\n\n";
+  std::cout << "=== Ablation: Sec. 5.3 complexity scaling (t = 17000 s; "
+               "engine = " << engine << ") ===\n\n";
 
   const auto onoff = workload::make_onoff_model(
       {.frequency = 1.0, .erlang_k = 1, .on_current = 0.96});
 
+  bench::BenchReport report("ablation_complexity");
   sweep(core::KibamRmModel(onoff, {.capacity = 7200.0,
                                    .available_fraction = 1.0,
                                    .flow_constant = 0.0}),
         {200.0, 100.0, 50.0, 25.0, 10.0, 5.0, 2.0},
-        "single well (c = 1): states ~ 1/Delta", args,
-        "complexity_single.csv");
+        "single well (c = 1): states ~ 1/Delta", engine, args,
+        "complexity_single.csv", report);
 
   const std::vector<double> two_well_deltas =
       args.has("full") ? std::vector<double>{300.0, 100.0, 50.0, 25.0, 10.0}
@@ -68,8 +69,9 @@ int main(int argc, char** argv) {
   sweep(core::KibamRmModel(onoff, {.capacity = 7200.0,
                                    .available_fraction = 0.625,
                                    .flow_constant = 4.5e-5}),
-        two_well_deltas, "two wells (c = 0.625): states ~ 1/Delta^2", args,
-        "complexity_two_well.csv");
+        two_well_deltas, "two wells (c = 0.625): states ~ 1/Delta^2", engine,
+        args, "complexity_two_well.csv", report);
+  report.write(args);
 
   std::cout << "Paper anchors: Delta = 5 single-well chain has 2882 states "
                "and needs >36000 iterations for t = 17000 s.\n";

@@ -1,16 +1,28 @@
-// Shared helpers for the bench binaries: option handling and curve printing.
+// Shared helpers for the bench binaries: option handling, curve printing
+// and machine-readable result records.
 //
 // Every bench accepts:
-//   --csv <path>   also write the printed series as CSV
-//   --full         run the expensive full-resolution configurations
-//   --points N     number of curve points (where applicable)
+//   --csv <path>    also write the printed series as CSV
+//   --full          run the expensive full-resolution configurations
+//   --points N      number of curve points (where applicable)
+//   --json <path>   where to write the BENCH_*.json record file
+//   --engine NAME   transient engine (where the bench solves chains)
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "kibamrm/common/cli.hpp"
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/core/approx_solver.hpp"
 #include "kibamrm/core/lifetime_distribution.hpp"
 #include "kibamrm/io/table.hpp"
 
@@ -43,6 +55,128 @@ inline io::Table curves_table(const std::string& time_header,
     table.add_numeric_row(row, 4);
   }
   return table;
+}
+
+/// One machine-readable benchmark record: ordered key -> rendered-JSON-value
+/// pairs.  Use the typed field() overloads; strings are escaped minimally
+/// (the fields benches emit are identifiers and numbers).
+class BenchRecord {
+ public:
+  BenchRecord& field(const std::string& key, const std::string& value) {
+    std::string escaped;
+    for (char c : value) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    return raw(key, '"' + escaped + '"');
+  }
+  BenchRecord& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  BenchRecord& field(const std::string& key, double value) {
+    std::ostringstream rendered;
+    rendered.precision(17);
+    rendered << value;
+    return raw(key, rendered.str());
+  }
+  // One template for every integer type: size_t, uint64_t and int are
+  // distinct (and overlapping) types across platforms, so fixed overloads
+  // would be ambiguous somewhere.
+  template <typename Int>
+    requires std::is_integral_v<Int>
+  BenchRecord& field(const std::string& key, Int value) {
+    return raw(key, std::to_string(value));
+  }
+
+  void render(std::ostream& out) const {
+    out << '{';
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << '"' << fields_[i].first << "\": " << fields_[i].second;
+    }
+    out << '}';
+  }
+
+ private:
+  BenchRecord& raw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Collects BenchRecords for one bench and writes them as BENCH_<name>.json
+/// (path overridable with --json), so the perf trajectory of the repo can
+/// accumulate machine-readable data points across runs.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  BenchRecord& add_record() { return records_.emplace_back(); }
+
+  void write(const common::CliArgs& args) const {
+    const std::string path =
+        args.get("json", "BENCH_" + name_ + ".json");
+    std::ofstream out(path);
+    KIBAMRM_REQUIRE(out.good(), "cannot open bench json file: " + path);
+    out << "{\"bench\": \"" << name_ << "\", \"records\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      if (i > 0) out << ", ";
+      records_[i].render(out);
+    }
+    out << "]}\n";
+    KIBAMRM_REQUIRE(out.good(), "failed writing bench json file: " + path);
+    std::cout << "[bench json written to " << path << "]\n";
+  }
+
+ private:
+  std::string name_;
+  std::vector<BenchRecord> records_;
+};
+
+/// One engine-backed approximation solve for the sweep drivers: constructs
+/// the solver, times the solve, and turns an engine refusal
+/// (engine::UnsupportedChainError, e.g. dense over its state limit) into a
+/// printed skip instead of a lost sweep.  Genuine solver errors propagate.
+struct EngineRun {
+  bool skipped = false;
+  core::ApproximationStats stats;
+  double wall_seconds = 0.0;
+  std::optional<core::LifetimeCurve> curve;
+};
+
+inline EngineRun run_approximation(const core::KibamRmModel& model,
+                                   const core::ApproximationOptions& options,
+                                   const std::vector<double>& times) {
+  EngineRun run;
+  const auto start = std::chrono::steady_clock::now();
+  core::MarkovianApproximation solver(model, options);
+  try {
+    run.curve = solver.solve(times);
+  } catch (const engine::UnsupportedChainError& error) {
+    std::cout << "Delta = " << options.delta << ": skipped ("
+              << error.what() << ")\n";
+    run.skipped = true;
+  }
+  run.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  run.stats = solver.last_stats();
+  return run;
+}
+
+/// Appends the standard per-configuration record (engine, delta, states,
+/// nonzeros, iterations, wall time); returns it for driver-specific extra
+/// fields.
+inline BenchRecord& add_engine_record(BenchReport& report,
+                                      const EngineRun& run, double delta) {
+  return report.add_record()
+      .field("engine", run.stats.engine)
+      .field("delta", delta)
+      .field("states", run.stats.expanded_states)
+      .field("nonzeros", run.stats.generator_nonzeros)
+      .field("iterations", run.stats.uniformization_iterations)
+      .field("wall_seconds", run.wall_seconds);
 }
 
 }  // namespace kibamrm::bench

@@ -6,23 +6,28 @@
 // 1000-run simulation, exactly the paper's set.  Also prints the expanded
 // state counts and uniformisation iteration counts quoted in Sec. 6.1
 // (2882 states and >36000 iterations for t = 17000 at Delta = 5).
+// --engine selects the transient backend.
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "kibamrm/core/approx_solver.hpp"
 #include "kibamrm/core/exact_c1.hpp"
 #include "kibamrm/core/simulator.hpp"
+#include "kibamrm/engine/transient_backend.hpp"
 #include "kibamrm/workload/onoff_model.hpp"
 
 int main(int argc, char** argv) {
   using namespace kibamrm;
   common::CliArgs args(argc, argv);
   args.declare("csv").declare("full").declare("points").declare("delta")
-      .declare("runs");
+      .declare("runs").declare("engine").declare("json");
   args.validate();
+  const std::string engine =
+      args.get_choice("engine", "uniformization", engine::backend_names());
 
   std::cout << "=== Figure 7: on/off lifetime CDF (C = 7200 As, c = 1, "
-               "k = 0) ===\n\n";
+               "k = 0; engine = " << engine << ") ===\n\n";
 
   const core::KibamRmModel model(
       workload::make_onoff_model({.frequency = 1.0, .erlang_k = 1,
@@ -36,18 +41,22 @@ int main(int argc, char** argv) {
   const std::vector<double> deltas =
       args.get_double_list("delta", {100.0, 50.0, 25.0, 5.0});
 
+  bench::BenchReport report("fig7");
   std::vector<std::string> labels;
   std::vector<core::LifetimeCurve> curves;
   for (double delta : deltas) {
-    core::MarkovianApproximation solver(model, {.delta = delta});
-    curves.push_back(solver.solve(times));
+    const auto run = bench::run_approximation(
+        model, {.delta = delta, .engine = engine}, times);
+    if (run.skipped) continue;
+    curves.push_back(*run.curve);
     labels.push_back("Delta=" + io::format_double(delta, 0));
-    const auto& stats = solver.last_stats();
-    std::cout << "Delta = " << delta << ": " << stats.expanded_states
-              << " states, " << stats.generator_nonzeros << " nonzeros, "
-              << stats.uniformization_iterations
-              << " uniformisation iterations (q = "
-              << io::format_double(stats.uniformization_rate, 3) << ")\n";
+    std::cout << "Delta = " << delta << ": " << run.stats.expanded_states
+              << " states, " << run.stats.generator_nonzeros
+              << " nonzeros, " << run.stats.uniformization_iterations
+              << " iterations (q = "
+              << io::format_double(run.stats.uniformization_rate, 3)
+              << ")\n";
+    bench::add_engine_record(report, run, delta);
   }
   std::cout << "Paper quotes for Delta = 5: 2882 states, >3.2e6 nonzeros "
                "(two-well variant), >36000 iterations at t = 17000.\n\n";
@@ -55,8 +64,18 @@ int main(int argc, char** argv) {
   core::MonteCarloSimulator sim(model,
                                 {.replications = static_cast<std::size_t>(
                                      args.get_int("runs", 1000))});
+  const auto sim_start = std::chrono::steady_clock::now();
   curves.push_back(sim.empty_probability_curve(times));
+  const auto sim_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sim_start)
+          .count();
   labels.push_back("Simulation");
+  report.add_record()
+      .field("engine", "simulation")
+      .field("replications", sim.last_stats().replications)
+      .field("events", sim.last_stats().events)
+      .field("wall_seconds", sim_seconds);
 
   // Bonus series the paper could not show: the exact distribution.
   curves.push_back(core::ExactC1Solver(model).solve(times));
@@ -64,6 +83,7 @@ int main(int argc, char** argv) {
 
   bench::emit(bench::curves_table("t (s)", times, labels, curves), args,
               "fig7.csv");
+  report.write(args);
 
   std::cout << "Shape checks vs Fig. 7: all curves rise from 0 to 1 around "
                "t ~ 15000 s; the simulation (and exact) curve is nearly a "

@@ -5,24 +5,28 @@
 // The paper plots Delta in {100, 50, 25, 10, 5} plus a simulation.  The
 // Delta = 10 and Delta = 5 chains have ~2.4e5 / ~9.7e5 states and dominate
 // the run time, so they are gated behind --full (the default set still
-// shows the convergence direction).
+// shows the convergence direction).  --engine selects the transient
+// backend (the dense oracle only fits the coarsest grids).
 #include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "kibamrm/core/approx_solver.hpp"
 #include "kibamrm/core/simulator.hpp"
+#include "kibamrm/engine/transient_backend.hpp"
 #include "kibamrm/workload/onoff_model.hpp"
 
 int main(int argc, char** argv) {
   using namespace kibamrm;
   common::CliArgs args(argc, argv);
   args.declare("csv").declare("full").declare("points").declare("delta")
-      .declare("runs");
+      .declare("runs").declare("engine").declare("json");
   args.validate();
+  const std::string engine =
+      args.get_choice("engine", "uniformization", engine::backend_names());
 
   std::cout << "=== Figure 8: on/off lifetime CDF (C = 7200 As, c = 0.625, "
-               "k = 4.5e-5/s) ===\n"
+               "k = 4.5e-5/s; engine = " << engine << ") ===\n"
             << (args.has("full")
                     ? ""
                     : "(default resolution; pass --full for the paper's "
@@ -45,22 +49,21 @@ int main(int argc, char** argv) {
   const std::vector<double> deltas =
       args.get_double_list("delta", default_deltas);
 
+  bench::BenchReport report("fig8");
   std::vector<std::string> labels;
   std::vector<core::LifetimeCurve> curves;
   for (double delta : deltas) {
-    const auto start = std::chrono::steady_clock::now();
-    core::MarkovianApproximation solver(model, {.delta = delta});
-    curves.push_back(solver.solve(times));
-    const auto seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+    const auto run = bench::run_approximation(
+        model, {.delta = delta, .engine = engine}, times);
+    if (run.skipped) continue;
+    curves.push_back(*run.curve);
     labels.push_back("Delta=" + io::format_double(delta, 0));
-    const auto& stats = solver.last_stats();
-    std::cout << "Delta = " << delta << ": " << stats.expanded_states
-              << " states, " << stats.generator_nonzeros << " nonzeros, "
-              << stats.uniformization_iterations << " iterations, "
-              << io::format_double(seconds, 1) << " s wall clock\n";
+    std::cout << "Delta = " << delta << ": " << run.stats.expanded_states
+              << " states, " << run.stats.generator_nonzeros
+              << " nonzeros, " << run.stats.uniformization_iterations
+              << " iterations, " << io::format_double(run.wall_seconds, 1)
+              << " s wall clock\n";
+    bench::add_engine_record(report, run, delta);
   }
   std::cout << "Paper quotes for Delta = 5: ~3.2e6 nonzeros; >2.3e4 "
                "iterations for t = 10000, >4.6e4 for t = 20000.\n\n";
@@ -68,11 +71,22 @@ int main(int argc, char** argv) {
   core::MonteCarloSimulator sim(model,
                                 {.replications = static_cast<std::size_t>(
                                      args.get_int("runs", 1000))});
+  const auto sim_start = std::chrono::steady_clock::now();
   curves.push_back(sim.empty_probability_curve(times));
+  const auto sim_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sim_start)
+          .count();
   labels.push_back("Simulation");
+  report.add_record()
+      .field("engine", "simulation")
+      .field("replications", sim.last_stats().replications)
+      .field("events", sim.last_stats().events)
+      .field("wall_seconds", sim_seconds);
 
   bench::emit(bench::curves_table("t (s)", times, labels, curves), args,
               "fig8.csv");
+  report.write(args);
 
   std::cout << "Shape checks vs Fig. 8: the approximation curves lie left "
                "of (above) the simulation and move right as Delta shrinks, "

@@ -81,6 +81,30 @@ std::vector<double> CliArgs::get_double_list(
   return values;
 }
 
+std::string CliArgs::get_choice(const std::string& name,
+                                const std::string& fallback,
+                                const std::vector<std::string>& allowed) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  const auto list_choices = [&allowed](std::string message) {
+    for (const std::string& choice : allowed) message += ' ' + choice;
+    return message;
+  };
+  // `--name` without a value is a malformed selection, not an absent one:
+  // silently running the fallback would defeat the fail-loudly contract.
+  if (!it->second.has_value()) {
+    throw InvalidArgument(
+        list_choices("option --" + name + " requires a value; choices:"));
+  }
+  const std::string& value = *it->second;
+  if (std::find(allowed.begin(), allowed.end(), value) != allowed.end()) {
+    return value;
+  }
+  throw InvalidArgument(list_choices("option --" + name +
+                                     " has unknown value '" + value +
+                                     "'; choices:"));
+}
+
 CliArgs& CliArgs::declare(const std::string& name) {
   declared_.push_back(name);
   return *this;

@@ -31,6 +31,14 @@ class CliArgs {
   std::vector<double> get_double_list(const std::string& name,
                                       std::vector<double> fallback) const;
 
+  /// Value of `--name` restricted to an allowed set (e.g. the registered
+  /// transient engines); throws InvalidArgument listing the choices when
+  /// the given value is not among them, or when `--name` appears without a
+  /// value.  `fallback` need not be validated against `allowed` (callers
+  /// may default to a dynamic first entry).
+  std::string get_choice(const std::string& name, const std::string& fallback,
+                         const std::vector<std::string>& allowed) const;
+
   /// Positional (non-option) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }
 

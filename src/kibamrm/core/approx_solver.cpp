@@ -1,35 +1,48 @@
 #include "kibamrm/core/approx_solver.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace kibamrm::core {
 
 MarkovianApproximation::MarkovianApproximation(const KibamRmModel& model,
                                                ApproximationOptions options)
-    : options_(options),
-      expanded_(build_expanded_chain(model, options.delta)) {
+    : options_(std::move(options)),
+      expanded_(build_expanded_chain(model, options_.delta)),
+      backend_(engine::make_backend(
+          options_.engine,
+          {.epsilon = options_.epsilon,
+           .dense_state_limit = options_.dense_state_limit,
+           // The curve only needs the streamed Pr{empty} values, not one
+           // distribution copy per time point.
+           .collect_distributions = false})) {
   stats_.expanded_states = expanded_.grid.state_count();
   stats_.generator_nonzeros = expanded_.chain.generator().nonzeros();
+  stats_.engine = options_.engine;
 }
 
 LifetimeCurve MarkovianApproximation::solve(const std::vector<double>& times) {
-  markov::TransientOptions transient;
-  transient.epsilon = options_.epsilon;
-  markov::TransientSolver solver(expanded_.chain, transient);
-
   std::vector<double> probabilities(times.size(), 0.0);
-  solver.solve(expanded_.initial, times,
-               [&](std::size_t index, double /*t*/,
-                   const std::vector<double>& pi) {
-                 probabilities[index] = expanded_.empty_probability(pi);
-               });
-  stats_.uniformization_iterations = solver.last_stats().iterations;
-  stats_.uniformization_rate = solver.last_stats().uniformization_rate;
-  return LifetimeCurve(times, std::move(probabilities));
+  backend_->solve(expanded_.chain, expanded_.initial, times,
+                  [&](std::size_t index, double /*t*/,
+                      const std::vector<double>& pi) {
+                    probabilities[index] = expanded_.empty_probability(pi);
+                  });
+  stats_.uniformization_iterations = backend_->last_stats().iterations;
+  stats_.uniformization_rate = backend_->last_stats().uniformization_rate;
+  // The iterative engines can leave round-off outside [0, 1] and small
+  // CDF dips at the scale of their configured tolerance (with head-room
+  // for accumulation over the curve); clamp that, anything larger is a
+  // bug and throws.
+  const double tolerance = std::max(1e-6, 10.0 * options_.epsilon);
+  sanitize_probabilities(probabilities, tolerance);
+  return LifetimeCurve(times, std::move(probabilities), tolerance);
 }
 
 LifetimeCurve approximate_lifetime_distribution(
-    const KibamRmModel& model, double delta,
-    const std::vector<double>& times) {
-  MarkovianApproximation solver(model, {.delta = delta});
+    const KibamRmModel& model, double delta, const std::vector<double>& times,
+    const std::string& engine) {
+  MarkovianApproximation solver(model, {.delta = delta, .engine = engine});
   return solver.solve(times);
 }
 

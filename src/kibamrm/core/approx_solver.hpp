@@ -3,38 +3,55 @@
 //
 // Pipeline: discretise the two accumulated rewards with step Delta
 // (level_grid), build the expanded pure CTMC Q* (expanded_ctmc), solve it
-// transiently by uniformisation (markov/uniformization), and read off
-// Pr{battery empty at t} as the probability mass in the absorbing j1 = 0
-// layer.  Complexity is O(N^2 q t (u1/Delta)(u2/Delta)) as analysed in
-// Sec. 5.3; the solver reports the actual state/non-zero/iteration counts so
-// the complexity experiments of Sec. 6.1 can be reproduced.
+// transiently through a pluggable engine (engine/transient_backend) and read
+// off Pr{battery empty at t} as the probability mass in the absorbing
+// j1 = 0 layer.  The default engine is the paper's uniformisation; the
+// adaptive ODE stepper and the dense matrix exponential are selectable by
+// name for small chains and cross-validation.  Complexity of the default is
+// O(N^2 q t (u1/Delta)(u2/Delta)) as analysed in Sec. 5.3; the solver
+// reports the actual state/non-zero/iteration counts so the complexity
+// experiments of Sec. 6.1 can be reproduced.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "kibamrm/core/expanded_ctmc.hpp"
 #include "kibamrm/core/lifetime_distribution.hpp"
-#include "kibamrm/markov/uniformization.hpp"
+#include "kibamrm/engine/transient_backend.hpp"
 
 namespace kibamrm::core {
 
 struct ApproximationOptions {
   /// Reward discretisation step Delta (charge units).
   double delta = 1.0;
-  /// Uniformisation truncation error per time increment.
+  /// Transient-solver accuracy (truncation error per time increment for
+  /// uniformisation, local-error tolerance for the adaptive stepper).
   double epsilon = 1e-10;
+  /// Transient engine name; see engine::backend_names().
+  std::string engine = "uniformization";
+  /// Refusal threshold of the dense engine (states).
+  std::size_t dense_state_limit = 1024;
 };
 
 /// Cost/shape diagnostics of one approximation run.
 struct ApproximationStats {
   std::size_t expanded_states = 0;
   std::size_t generator_nonzeros = 0;
+  /// Engine that produced the last curve.
+  std::string engine;
+  /// Iteration count of the engine (DTMC steps for uniformisation, RHS
+  /// evaluations for the adaptive stepper, exponentials for dense); the
+  /// field keeps its historical name for the Sec. 6.1 experiments.
   std::uint64_t uniformization_iterations = 0;
   double uniformization_rate = 0.0;
 };
 
 class MarkovianApproximation {
  public:
+  /// Builds the expanded chain and instantiates the selected engine;
+  /// throws InvalidArgument for unknown engine names.
   MarkovianApproximation(const KibamRmModel& model,
                          ApproximationOptions options);
 
@@ -47,13 +64,13 @@ class MarkovianApproximation {
  private:
   ApproximationOptions options_;
   ExpandedChain expanded_;
+  std::unique_ptr<engine::TransientBackend> backend_;
   ApproximationStats stats_;
 };
 
-/// One-shot convenience.
-LifetimeCurve approximate_lifetime_distribution(const KibamRmModel& model,
-                                                double delta,
-                                                const std::vector<double>&
-                                                    times);
+/// One-shot convenience; `engine` selects the transient backend.
+LifetimeCurve approximate_lifetime_distribution(
+    const KibamRmModel& model, double delta, const std::vector<double>& times,
+    const std::string& engine = "uniformization");
 
 }  // namespace kibamrm::core

@@ -30,9 +30,13 @@ ExpandedChain build_expanded_chain(const KibamRmModel& model, double delta) {
   const auto q_values = q.values();
 
   linalg::CooBuilder builder(grid.state_count(), grid.state_count());
-  // Per non-absorbing state: <= (workload fanout) + consumption + transfer
-  // + diagonal.  Reserve generously once to avoid growth stalls.
-  builder.reserve(grid.state_count() * (n + 3));
+  // Exact triplet-count bound: only non-absorbing states (j1 >= 1, i.e.
+  // l1 * (l2 + 1) level pairs) emit entries.  Summed over the workload
+  // states of one level pair that is at most every off-diagonal of Q
+  // (<= nonzeros) plus consumption, transfer and the rebuilt diagonal per
+  // state.  A single exact-size reserve avoids reallocation spikes on the
+  // multi-million-entry generators of small Delta.
+  builder.reserve(l1 * (l2 + 1) * (q.nonzeros() + 3 * n));
 
   for (std::size_t j1 = 1; j1 <= l1; ++j1) {  // j1 = 0 is absorbing
     for (std::size_t j2 = 0; j2 <= l2; ++j2) {

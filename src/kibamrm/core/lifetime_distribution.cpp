@@ -81,6 +81,16 @@ double LifetimeCurve::max_difference(const LifetimeCurve& other) const {
   return worst;
 }
 
+void sanitize_probabilities(std::vector<double>& probabilities,
+                            double tolerance) {
+  KIBAMRM_REQUIRE(tolerance >= 0.0, "sanitize: tolerance must be >= 0");
+  for (double& p : probabilities) {
+    KIBAMRM_REQUIRE(p >= -tolerance && p <= 1.0 + tolerance,
+                    "probability outside [0,1] beyond the solver tolerance");
+    p = std::clamp(p, 0.0, 1.0);
+  }
+}
+
 std::vector<double> uniform_grid(double start, double end,
                                  std::size_t points) {
   KIBAMRM_REQUIRE(points >= 2, "uniform grid needs >= 2 points");

@@ -14,6 +14,12 @@ MonteCarloSimulator::MonteCarloSimulator(KibamRmModel model,
 }
 
 double MonteCarloSimulator::sample_lifetime(common::RandomStream& rng) const {
+  std::uint64_t events = 0;
+  return sample_lifetime_counted(rng, events);
+}
+
+double MonteCarloSimulator::sample_lifetime_counted(
+    common::RandomStream& rng, std::uint64_t& events) const {
   const auto& workload = model_.workload();
   const auto& chain = workload.chain();
   const auto& generator = chain.generator();
@@ -53,6 +59,7 @@ double MonteCarloSimulator::sample_lifetime(common::RandomStream& rng) const {
     if (crossing) return elapsed + *crossing;
     elapsed += dt;
     if (dt < sojourn) break;  // horizon reached mid-sojourn
+    ++events;
 
     // Candidate jump: evaluate the (possibly charge-dependent) rates now.
     std::vector<double> weights;
@@ -91,10 +98,13 @@ stats::EmpiricalDistribution MonteCarloSimulator::run() const {
   std::vector<double> lifetimes;
   lifetimes.reserve(options_.replications);
   common::RandomStream rng(options_.seed);
+  stats_ = SimulationStats{};
   for (std::size_t i = 0; i < options_.replications; ++i) {
     common::RandomStream replication_rng = rng.split();
-    lifetimes.push_back(sample_lifetime(replication_rng));
+    lifetimes.push_back(sample_lifetime_counted(replication_rng,
+                                                stats_.events));
   }
+  stats_.replications = options_.replications;
   return stats::EmpiricalDistribution(std::move(lifetimes));
 }
 

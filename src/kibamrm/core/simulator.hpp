@@ -27,6 +27,15 @@ struct SimulationOptions {
   double max_time = 1e12;
 };
 
+/// Cost counters of the most recent run(), the simulation analogue of the
+/// transient engines' BackendStats (the bench harness reports both).
+struct SimulationStats {
+  std::uint64_t replications = 0;
+  /// Sampled workload events over all replications (state jumps plus
+  /// thinning phantoms for adaptive models).
+  std::uint64_t events = 0;
+};
+
 class MonteCarloSimulator {
  public:
   /// The model is stored by value: simulators outlive the expressions that
@@ -44,9 +53,19 @@ class MonteCarloSimulator {
   LifetimeCurve empty_probability_curve(const std::vector<double>& times)
       const;
 
+  /// Counters of the most recent run().
+  const SimulationStats& last_stats() const { return stats_; }
+
  private:
+  /// sample_lifetime plus an event count for the run() statistics.
+  double sample_lifetime_counted(common::RandomStream& rng,
+                                 std::uint64_t& events) const;
+
   KibamRmModel model_;
   SimulationOptions options_;
+  // Diagnostics of the last run(); mutable because sampling through the
+  // const query API still updates the counters.
+  mutable SimulationStats stats_;
 };
 
 }  // namespace kibamrm::core

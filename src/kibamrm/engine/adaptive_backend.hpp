@@ -1,0 +1,50 @@
+// Adaptive-step ODE backend: embedded Dormand-Prince 5(4) on the Kolmogorov
+// forward equations pi'(t) = pi(t) Q.
+//
+// Complements the uniformisation backend for small chains: step size adapts
+// to the local solution scale instead of the global uniformisation rate, so
+// nearly-settled distributions (long tails of lifetime curves, stiff decay
+// after a fast transient) integrate with large steps where uniformisation
+// keeps paying q * dt iterations.  Also complements core/exact_c1, which is
+// exact but restricted to single-well models with charge-independent rates.
+//
+// Explicit RK is stability-limited to step ~ 3.3 / max_exit_rate on stiff
+// chains, which the error controller discovers by rejection; for the large
+// expanded battery chains uniformisation stays the production choice.
+#pragma once
+
+#include "kibamrm/engine/transient_backend.hpp"
+
+namespace kibamrm::engine {
+
+class AdaptiveBackend final : public TransientBackend {
+ public:
+  explicit AdaptiveBackend(BackendOptions options);
+
+  std::string_view name() const override { return "adaptive"; }
+
+  std::vector<std::vector<double>> solve(
+      const markov::Ctmc& chain, const std::vector<double>& initial,
+      const std::vector<double>& times,
+      const PointCallback& on_point = nullptr) override;
+
+  const BackendStats& last_stats() const override { return stats_; }
+
+ private:
+  /// Advances `state` from `t_from` to `t_to`, adapting the step.
+  void integrate(const markov::Ctmc& chain, std::vector<double>& state,
+                 double t_from, double t_to);
+
+  BackendOptions options_;
+  BackendStats stats_;
+  // Stage scratch (k1..k7 and the trial state), reused across increments.
+  std::vector<std::vector<double>> stages_;
+  std::vector<double> trial_;
+  bool first_same_as_last_valid_ = false;
+  // Controller step carried across output increments: re-deriving it per
+  // increment would pay the growth ramp towards the stability limit at
+  // every curve point.
+  double previous_step_ = 0.0;
+};
+
+}  // namespace kibamrm::engine

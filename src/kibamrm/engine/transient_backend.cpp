@@ -1,0 +1,85 @@
+#include "kibamrm/engine/transient_backend.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/engine/adaptive_backend.hpp"
+#include "kibamrm/engine/dense_expm_backend.hpp"
+#include "kibamrm/engine/uniformization_backend.hpp"
+#include "kibamrm/linalg/vector_ops.hpp"
+
+namespace kibamrm::engine {
+
+namespace {
+
+std::map<std::string, BackendFactory, std::less<>>& registry() {
+  static std::map<std::string, BackendFactory, std::less<>> backends = {
+      {"uniformization",
+       [](const BackendOptions& options) -> std::unique_ptr<TransientBackend> {
+         return std::make_unique<UniformizationBackend>(options);
+       }},
+      {"adaptive",
+       [](const BackendOptions& options) -> std::unique_ptr<TransientBackend> {
+         return std::make_unique<AdaptiveBackend>(options);
+       }},
+      {"dense",
+       [](const BackendOptions& options) -> std::unique_ptr<TransientBackend> {
+         return std::make_unique<DenseExpmBackend>(options);
+       }},
+  };
+  return backends;
+}
+
+}  // namespace
+
+void TransientBackend::check_arguments(const markov::Ctmc& chain,
+                                       const std::vector<double>& initial,
+                                       const std::vector<double>& times) {
+  KIBAMRM_REQUIRE(initial.size() == chain.state_count(),
+                  "initial distribution has wrong dimension");
+  KIBAMRM_REQUIRE(linalg::is_probability_vector(initial, 1e-6),
+                  "initial vector is not a probability distribution");
+  KIBAMRM_REQUIRE(std::is_sorted(times.begin(), times.end()),
+                  "time points must be sorted ascending");
+  KIBAMRM_REQUIRE(times.empty() || times.front() >= 0.0,
+                  "time points must be non-negative");
+}
+
+std::unique_ptr<TransientBackend> make_backend(std::string_view name,
+                                               const BackendOptions& options) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::ostringstream message;
+    message << "unknown transient engine '" << name << "'; known engines:";
+    for (const std::string& known : backend_names()) {
+      message << ' ' << known;
+    }
+    throw InvalidArgument(message.str());
+  }
+  return it->second(options);
+}
+
+std::vector<std::string> backend_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) {
+    (void)factory;
+    names.push_back(name);
+  }
+  return names;
+}
+
+bool is_backend_name(std::string_view name) {
+  return registry().find(name) != registry().end();
+}
+
+void register_backend(std::string name, BackendFactory factory) {
+  KIBAMRM_REQUIRE(!name.empty(), "backend name must be non-empty");
+  KIBAMRM_REQUIRE(static_cast<bool>(factory),
+                  "backend factory must be callable");
+  registry()[std::move(name)] = std::move(factory);
+}
+
+}  // namespace kibamrm::engine

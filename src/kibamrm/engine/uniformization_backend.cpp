@@ -1,0 +1,28 @@
+#include "kibamrm/engine/uniformization_backend.hpp"
+
+#include "kibamrm/markov/uniformization.hpp"
+
+namespace kibamrm::engine {
+
+UniformizationBackend::UniformizationBackend(BackendOptions options)
+    : options_(options) {}
+
+std::vector<std::vector<double>> UniformizationBackend::solve(
+    const markov::Ctmc& chain, const std::vector<double>& initial,
+    const std::vector<double>& times, const PointCallback& on_point) {
+  markov::TransientOptions transient;
+  transient.epsilon = options_.epsilon;
+  transient.uniformization_rate = options_.uniformization_rate;
+  transient.renormalize = options_.renormalize;
+  transient.collect_results = options_.collect_distributions;
+  markov::TransientSolver solver(chain, transient);
+  auto results = solver.solve(initial, times, on_point);
+
+  stats_ = BackendStats{};
+  stats_.iterations = solver.last_stats().iterations;
+  stats_.time_points = solver.last_stats().time_points;
+  stats_.uniformization_rate = solver.last_stats().uniformization_rate;
+  return results;
+}
+
+}  // namespace kibamrm::engine

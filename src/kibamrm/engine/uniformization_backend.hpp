@@ -1,0 +1,33 @@
+// Uniformisation backend: the paper's transient solver behind the engine
+// interface.
+//
+// Delegates to markov::TransientSolver, which carries the two production
+// fast paths: absorbing states uniformise to unit-diagonal rows and are
+// carried over without touching the sparse structure (the expanded battery
+// chain's whole j1 = 0 layer), and the per-increment scratch vectors are
+// reused across the curve so a solve allocates only at its first increment.
+#pragma once
+
+#include "kibamrm/engine/transient_backend.hpp"
+
+namespace kibamrm::engine {
+
+class UniformizationBackend final : public TransientBackend {
+ public:
+  explicit UniformizationBackend(BackendOptions options);
+
+  std::string_view name() const override { return "uniformization"; }
+
+  std::vector<std::vector<double>> solve(
+      const markov::Ctmc& chain, const std::vector<double>& initial,
+      const std::vector<double>& times,
+      const PointCallback& on_point = nullptr) override;
+
+  const BackendStats& last_stats() const override { return stats_; }
+
+ private:
+  BackendOptions options_;
+  BackendStats stats_;
+};
+
+}  // namespace kibamrm::engine

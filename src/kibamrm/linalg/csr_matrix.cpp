@@ -90,6 +90,41 @@ void CsrMatrix::left_multiply(const std::vector<double>& pi,
   }
 }
 
+void CsrMatrix::left_multiply_partitioned(
+    const std::vector<double>& pi, std::vector<double>& out,
+    std::span<const std::uint32_t> active,
+    std::span<const std::uint32_t> identity) const {
+  KIBAMRM_REQUIRE(pi.size() == rows_,
+                  "left_multiply_partitioned: dimension mismatch");
+  KIBAMRM_REQUIRE(active.size() + identity.size() == rows_,
+                  "left_multiply_partitioned: partition does not cover all "
+                  "rows");
+  out.assign(cols_, 0.0);
+  for (const std::uint32_t row : active) {
+    const double p = pi[row];
+    if (p == 0.0) continue;  // transient vectors are mostly sparse early on
+    for (std::uint32_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      out[col_idx_[k]] += p * values_[k];
+    }
+  }
+  for (const std::uint32_t row : identity) {
+    out[row] += pi[row];
+  }
+}
+
+std::vector<std::uint32_t> CsrMatrix::identity_rows() const {
+  std::vector<std::uint32_t> rows;
+  if (rows_ != cols_) return rows;
+  for (std::size_t row = 0; row < rows_; ++row) {
+    const std::uint32_t begin = row_ptr_[row];
+    if (row_ptr_[row + 1] == begin + 1 && col_idx_[begin] == row &&
+        values_[begin] == 1.0) {
+      rows.push_back(static_cast<std::uint32_t>(row));
+    }
+  }
+  return rows;
+}
+
 std::vector<double> CsrMatrix::row_sums() const {
   std::vector<double> sums(rows_, 0.0);
   for (std::size_t row = 0; row < rows_; ++row) {

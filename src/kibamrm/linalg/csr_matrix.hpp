@@ -69,9 +69,27 @@ class CsrMatrix {
   void multiply(const std::vector<double>& x, std::vector<double>& out) const;
 
   /// out = pi * A  (row vector on the left).  This is the uniformisation
-  /// kernel; `out` is overwritten.
+  /// kernel; `out` is overwritten (its capacity is reused across calls, so
+  /// repeated products over time increments allocate nothing).
   void left_multiply(const std::vector<double>& pi,
                      std::vector<double>& out) const;
+
+  /// Sparsity-aware variant of left_multiply for uniformised chains with
+  /// absorbing states.  `active` and `identity` partition the row indices:
+  /// rows in `identity` are guaranteed (by the caller, see identity_rows())
+  /// to hold exactly a unit diagonal, so their contribution is
+  /// out[row] += pi[row] without touching the CSR arrays -- the absorbing
+  /// j1 = 0 layer of the expanded battery chain costs one add per state
+  /// instead of a pointer chase per iteration.  Rows in `active` are
+  /// scattered through the sparse structure as usual.
+  void left_multiply_partitioned(const std::vector<double>& pi,
+                                 std::vector<double>& out,
+                                 std::span<const std::uint32_t> active,
+                                 std::span<const std::uint32_t> identity) const;
+
+  /// Rows whose only stored entry is a unit diagonal -- absorbing states of
+  /// a uniformised transition matrix P = I + Q/q.
+  std::vector<std::uint32_t> identity_rows() const;
 
   /// Per-row sums (for generator validation: rows of Q must sum to ~0).
   std::vector<double> row_sums() const;

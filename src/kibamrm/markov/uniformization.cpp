@@ -23,6 +23,21 @@ TransientSolver::TransientSolver(const Ctmc& chain, TransientOptions options)
   KIBAMRM_REQUIRE(rate_ * (1.0 + 1e-12) >= chain_.max_exit_rate(),
                   "uniformization rate below maximal exit rate");
   p_ = chain_.generator().uniformized(rate_);
+
+  // Partition rows once: absorbing states uniformise to exact unit-diagonal
+  // rows, which the iteration kernel handles without touching the CSR
+  // structure (see CsrMatrix::left_multiply_partitioned).
+  identity_rows_ = p_.identity_rows();
+  active_rows_.reserve(p_.rows() - identity_rows_.size());
+  std::size_t next_identity = 0;
+  for (std::size_t row = 0; row < p_.rows(); ++row) {
+    if (next_identity < identity_rows_.size() &&
+        identity_rows_[next_identity] == row) {
+      ++next_identity;
+    } else {
+      active_rows_.push_back(static_cast<std::uint32_t>(row));
+    }
+  }
 }
 
 std::vector<std::vector<double>> TransientSolver::solve(
@@ -45,10 +60,11 @@ std::vector<std::vector<double>> TransientSolver::solve(
   std::vector<std::vector<double>> results;
   results.reserve(times.size());
 
+  // power_ holds pi(t_k) P^n during an increment; it is (re)filled from
+  // `current` at each increment, so only the other scratch needs sizing.
   std::vector<double> current = initial;   // pi(t_k)
-  std::vector<double> power = initial;     // pi(t_k) P^n during an increment
-  std::vector<double> next(initial.size());
-  std::vector<double> accum(initial.size());
+  next_.assign(initial.size(), 0.0);
+  accum_.assign(initial.size(), 0.0);
   double current_time = 0.0;
 
   for (std::size_t idx = 0; idx < times.size(); ++idx) {
@@ -56,27 +72,28 @@ std::vector<std::vector<double>> TransientSolver::solve(
     if (dt > 0.0) {
       const double lambda = rate_ * dt;
       const PoissonWindow window = fox_glynn(lambda, options_.epsilon);
-      linalg::fill(accum, 0.0);
-      power = current;
+      linalg::fill(accum_, 0.0);
+      power_ = current;
       // n = 0 term.
       if (window.left == 0) {
-        linalg::axpy(window.weight(0), power, accum);
+        linalg::axpy(window.weight(0), power_, accum_);
       }
       for (std::uint64_t n = 1; n <= window.right; ++n) {
-        p_.left_multiply(power, next);
-        power.swap(next);
+        p_.left_multiply_partitioned(power_, next_, active_rows_,
+                                     identity_rows_);
+        power_.swap(next_);
         ++stats_.iterations;
         if (n >= window.left) {
-          linalg::axpy(window.weight(n), power, accum);
+          linalg::axpy(window.weight(n), power_, accum_);
         }
       }
-      current.swap(accum);
+      current.swap(accum_);
       if (options_.renormalize) {
         linalg::normalize_probability(current);
       }
       current_time = times[idx];
     }
-    results.push_back(current);
+    if (options_.collect_results) results.push_back(current);
     if (on_point) on_point(idx, times[idx], current);
   }
   return results;

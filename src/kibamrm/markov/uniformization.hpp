@@ -31,6 +31,9 @@ struct TransientOptions {
   /// Re-normalise the distribution after every time increment to counter
   /// accumulated round-off on long curves.
   bool renormalize = true;
+  /// When false, solve() returns an empty vector: callers that stream
+  /// points through the callback skip the time_points * states copy.
+  bool collect_results = true;
 };
 
 /// Cost counters for complexity experiments (Sec. 5.3 / Sec. 6.1 quote
@@ -62,6 +65,16 @@ class TransientSolver {
   linalg::CsrMatrix p_;  // uniformised transition matrix
   double rate_;
   TransientStats stats_;
+  // Sparsity fast path: rows of P that are exact unit diagonals (the
+  // absorbing j1 = 0 layer of the expanded battery chain) are skipped by
+  // the scatter kernel; their mass is carried over directly.
+  std::vector<std::uint32_t> identity_rows_;
+  std::vector<std::uint32_t> active_rows_;
+  // Scratch reused across time increments and across solve() calls: a whole
+  // lifetime curve performs zero per-increment allocations.
+  std::vector<double> power_;
+  std::vector<double> next_;
+  std::vector<double> accum_;
 };
 
 /// One-shot convenience: transient distribution at a single time point.

@@ -100,5 +100,41 @@ TEST(CliArgs, ValidateRejectsUnknownOption) {
   EXPECT_THROW(args.validate(), InvalidArgument);
 }
 
+TEST(CliArgs, GetChoiceReturnsAllowedValue) {
+  const CliArgs args = parse({"p", "--engine", "dense"});
+  EXPECT_EQ(args.get_choice("engine", "uniformization",
+                            {"adaptive", "dense", "uniformization"}),
+            "dense");
+}
+
+TEST(CliArgs, GetChoiceFallsBackWhenAbsent) {
+  const CliArgs args = parse({"p"});
+  EXPECT_EQ(args.get_choice("engine", "uniformization",
+                            {"adaptive", "dense", "uniformization"}),
+            "uniformization");
+}
+
+TEST(CliArgs, GetChoicePresentWithoutValueThrows) {
+  // `--engine --full`: the next token is an option, so --engine parses as
+  // valueless; a malformed selection must not silently run the fallback.
+  const CliArgs args = parse({"p", "--engine", "--full"});
+  EXPECT_THROW(args.get_choice("engine", "uniformization",
+                               {"adaptive", "dense", "uniformization"}),
+               InvalidArgument);
+}
+
+TEST(CliArgs, GetChoiceRejectsUnknownValueListingChoices) {
+  const CliArgs args = parse({"p", "--engine", "krylov"});
+  try {
+    args.get_choice("engine", "uniformization",
+                    {"adaptive", "dense", "uniformization"});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("krylov"), std::string::npos);
+    EXPECT_NE(what.find("adaptive"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace kibamrm::common

@@ -19,7 +19,7 @@ namespace {
 using namespace kibamrm;
 
 void sweep(const core::KibamRmModel& model, const std::vector<double>& deltas,
-           const char* title, const std::string& engine,
+           const char* title, const std::string& engine, std::size_t threads,
            const common::CliArgs& args, const std::string& csv_name,
            bench::BenchReport& report) {
   std::cout << "--- " << title << " ---\n";
@@ -27,7 +27,8 @@ void sweep(const core::KibamRmModel& model, const std::vector<double>& deltas,
                    "solve time (s)"});
   for (double delta : deltas) {
     const auto run = bench::run_approximation(
-        model, {.delta = delta, .engine = engine}, {17000.0});
+        model, {.delta = delta, .engine = engine, .threads = threads},
+        {17000.0});
     if (run.skipped) continue;
     table.add_row({io::format_double(delta, 0),
                    std::to_string(run.stats.expanded_states),
@@ -35,7 +36,9 @@ void sweep(const core::KibamRmModel& model, const std::vector<double>& deltas,
                    io::format_double(run.stats.uniformization_rate, 3),
                    std::to_string(run.stats.uniformization_iterations),
                    io::format_double(run.wall_seconds, 3)});
-    bench::add_engine_record(report, run, delta).field("sweep", title);
+    bench::add_engine_record(report, run, delta)
+        .field("threads", bench::resolved_thread_count(engine, threads))
+        .field("sweep", title);
   }
   bench::emit(table, args, csv_name);
 }
@@ -44,10 +47,13 @@ void sweep(const core::KibamRmModel& model, const std::vector<double>& deltas,
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
-  args.declare("csv").declare("full").declare("engine").declare("json");
+  args.declare("csv").declare("full").declare("engine").declare("json")
+      .declare("threads");
   args.validate();
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());
+  const auto threads =
+      static_cast<std::size_t>(args.get_positive_int("threads", 0));
 
   std::cout << "=== Ablation: Sec. 5.3 complexity scaling (t = 17000 s; "
                "engine = " << engine << ") ===\n\n";
@@ -60,7 +66,7 @@ int main(int argc, char** argv) {
                                    .available_fraction = 1.0,
                                    .flow_constant = 0.0}),
         {200.0, 100.0, 50.0, 25.0, 10.0, 5.0, 2.0},
-        "single well (c = 1): states ~ 1/Delta", engine, args,
+        "single well (c = 1): states ~ 1/Delta", engine, threads, args,
         "complexity_single.csv", report);
 
   const std::vector<double> two_well_deltas =
@@ -70,7 +76,7 @@ int main(int argc, char** argv) {
                                    .available_fraction = 0.625,
                                    .flow_constant = 4.5e-5}),
         two_well_deltas, "two wells (c = 0.625): states ~ 1/Delta^2", engine,
-        args, "complexity_two_well.csv", report);
+        threads, args, "complexity_two_well.csv", report);
   report.write(args);
 
   std::cout << "Paper anchors: Delta = 5 single-well chain has 2882 states "

@@ -7,6 +7,8 @@
 //   --points N      number of curve points (where applicable)
 //   --json <path>   where to write the BENCH_*.json record file
 //   --engine NAME   transient engine (where the bench solves chains)
+//   --threads N     engine/batch execution lanes (0/absent = auto-detect)
+//   --batch         solve all configurations through engine::ScenarioBatch
 #pragma once
 
 #include <chrono>
@@ -22,8 +24,10 @@
 
 #include "kibamrm/common/cli.hpp"
 #include "kibamrm/common/error.hpp"
+#include "kibamrm/common/thread_pool.hpp"
 #include "kibamrm/core/approx_solver.hpp"
 #include "kibamrm/core/lifetime_distribution.hpp"
+#include "kibamrm/engine/scenario_batch.hpp"
 #include "kibamrm/io/table.hpp"
 
 namespace kibamrm::bench {
@@ -134,6 +138,17 @@ class BenchReport {
   std::vector<BenchRecord> records_;
 };
 
+/// Lanes a run will actually use, for the "threads" record field: the
+/// serial engines always run 1, and the 0 = auto-detect sentinel resolves
+/// to the hardware count -- so trajectory tooling never groups wall times
+/// under a fictitious thread count 0.
+inline std::size_t resolved_thread_count(const std::string& engine,
+                                         std::size_t requested) {
+  if (engine != "parallel") return 1;
+  return requested == 0 ? common::ThreadPool::hardware_thread_count()
+                        : requested;
+}
+
 /// One engine-backed approximation solve for the sweep drivers: constructs
 /// the solver, times the solve, and turns an engine refusal
 /// (engine::UnsupportedChainError, e.g. dense over its state limit) into a
@@ -177,6 +192,38 @@ inline BenchRecord& add_engine_record(BenchReport& report,
       .field("nonzeros", run.stats.generator_nonzeros)
       .field("iterations", run.stats.uniformization_iterations)
       .field("wall_seconds", run.wall_seconds);
+}
+
+/// Per-scenario record of a batched solve: same core fields as
+/// add_engine_record plus the scenario label, so the trajectory tooling
+/// reads batched and sequential runs uniformly.
+inline BenchRecord& add_scenario_record(BenchReport& report,
+                                        const engine::ScenarioResult& result,
+                                        double delta) {
+  return report.add_record()
+      .field("engine", result.stats.engine)
+      .field("scenario", result.label)
+      .field("delta", delta)
+      .field("states", result.stats.expanded_states)
+      .field("nonzeros", result.stats.generator_nonzeros)
+      .field("iterations", result.stats.uniformization_iterations)
+      .field("wall_seconds", result.wall_seconds);
+}
+
+/// Aggregate record of one ScenarioBatch::solve_all: batch wall-clock vs
+/// summed per-scenario time is the achieved scenario-level parallelism.
+inline BenchRecord& add_batch_record(BenchReport& report,
+                                     const std::string& engine,
+                                     const engine::BatchStats& stats) {
+  return report.add_record()
+      .field("engine", engine)
+      .field("batch", "aggregate")
+      .field("scenarios", stats.scenarios)
+      .field("skipped", stats.skipped)
+      .field("threads", stats.threads)
+      .field("batch_wall_seconds", stats.wall_seconds)
+      .field("solve_seconds_total", stats.solve_seconds_total)
+      .field("iterations", stats.iterations_total);
 }
 
 }  // namespace kibamrm::bench

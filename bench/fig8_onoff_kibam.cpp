@@ -6,7 +6,11 @@
 // Delta = 10 and Delta = 5 chains have ~2.4e5 / ~9.7e5 states and dominate
 // the run time, so they are gated behind --full (the default set still
 // shows the convergence direction).  --engine selects the transient
-// backend (the dense oracle only fits the coarsest grids).
+// backend (the dense oracle only fits the coarsest grids); --threads N
+// feeds the "parallel" engine's spmv sharding, and --batch solves all
+// Delta configurations concurrently through engine::ScenarioBatch instead
+// of one after another -- the perf CI compares the resulting per-scenario
+// and aggregate wall times across thread counts.
 #include <chrono>
 #include <iostream>
 
@@ -20,10 +24,13 @@ int main(int argc, char** argv) {
   using namespace kibamrm;
   common::CliArgs args(argc, argv);
   args.declare("csv").declare("full").declare("points").declare("delta")
-      .declare("runs").declare("engine").declare("json");
+      .declare("runs").declare("engine").declare("json").declare("threads")
+      .declare("batch");
   args.validate();
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());
+  const auto threads =
+      static_cast<std::size_t>(args.get_positive_int("threads", 0));
 
   std::cout << "=== Figure 8: on/off lifetime CDF (C = 7200 As, c = 0.625, "
                "k = 4.5e-5/s; engine = " << engine << ") ===\n"
@@ -52,18 +59,59 @@ int main(int argc, char** argv) {
   bench::BenchReport report("fig8");
   std::vector<std::string> labels;
   std::vector<core::LifetimeCurve> curves;
-  for (double delta : deltas) {
-    const auto run = bench::run_approximation(
-        model, {.delta = delta, .engine = engine}, times);
-    if (run.skipped) continue;
-    curves.push_back(*run.curve);
-    labels.push_back("Delta=" + io::format_double(delta, 0));
-    std::cout << "Delta = " << delta << ": " << run.stats.expanded_states
-              << " states, " << run.stats.generator_nonzeros
-              << " nonzeros, " << run.stats.uniformization_iterations
-              << " iterations, " << io::format_double(run.wall_seconds, 1)
-              << " s wall clock\n";
-    bench::add_engine_record(report, run, delta);
+  if (args.has("batch")) {
+    // Batched mode: all Delta scenarios in flight at once; per-scenario
+    // wall times overlap, the aggregate record holds the batch wall time.
+    std::vector<engine::Scenario> scenarios;
+    for (double delta : deltas) {
+      scenarios.push_back({"Delta=" + io::format_double(delta, 0), model,
+                           delta, times});
+    }
+    engine::ScenarioBatch batch(
+        {.engine = engine, .threads = threads});
+    const auto results = batch.solve_all(scenarios);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& result = results[i];
+      if (result.skipped) {
+        std::cout << result.label << ": skipped (" << result.skip_reason
+                  << ")\n";
+        continue;
+      }
+      curves.push_back(*result.curve);
+      labels.push_back(result.label);
+      std::cout << result.label << ": " << result.stats.expanded_states
+                << " states, " << result.stats.generator_nonzeros
+                << " nonzeros, " << result.stats.uniformization_iterations
+                << " iterations, "
+                << io::format_double(result.wall_seconds, 1)
+                << " s wall clock\n";
+      bench::add_scenario_record(report, result, deltas[i])
+          .field("threads", batch.last_stats().threads);
+    }
+    bench::add_batch_record(report, engine, batch.last_stats());
+    std::cout << "batch: " << batch.last_stats().scenarios
+              << " scenarios on " << batch.last_stats().threads
+              << " threads, "
+              << io::format_double(batch.last_stats().wall_seconds, 1)
+              << " s wall clock ("
+              << io::format_double(batch.last_stats().solve_seconds_total, 1)
+              << " s summed solve time)\n";
+  } else {
+    for (double delta : deltas) {
+      const auto run = bench::run_approximation(
+          model, {.delta = delta, .engine = engine, .threads = threads},
+          times);
+      if (run.skipped) continue;
+      curves.push_back(*run.curve);
+      labels.push_back("Delta=" + io::format_double(delta, 0));
+      std::cout << "Delta = " << delta << ": " << run.stats.expanded_states
+                << " states, " << run.stats.generator_nonzeros
+                << " nonzeros, " << run.stats.uniformization_iterations
+                << " iterations, " << io::format_double(run.wall_seconds, 1)
+                << " s wall clock\n";
+      bench::add_engine_record(report, run, delta)
+          .field("threads", bench::resolved_thread_count(engine, threads));
+    }
   }
   std::cout << "Paper quotes for Delta = 5: ~3.2e6 nonzeros; >2.3e4 "
                "iterations for t = 10000, >4.6e4 for t = 20000.\n\n";

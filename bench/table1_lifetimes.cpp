@@ -16,6 +16,12 @@
 // columns are frequency-independent (203/203 in the paper; the experiment
 // said 193 vs 230), and the deterministic modified model stays frequency-
 // independent as well.
+//
+// A second block solves the three workloads as one engine::ScenarioBatch
+// through the Markovian approximation (the stochastic Erlang-1 on/off
+// analogue of the square waves) and reports the median lifetimes --
+// --engine/--threads select the backend and concurrency, and the timings
+// land in BENCH_table1.json for the perf-trajectory CI.
 #include <iostream>
 #include <optional>
 #include <vector>
@@ -29,6 +35,7 @@
 #include "kibamrm/common/random.hpp"
 #include "kibamrm/common/units.hpp"
 #include "kibamrm/stats/empirical.hpp"
+#include "kibamrm/workload/onoff_model.hpp"
 
 namespace {
 
@@ -70,9 +77,15 @@ double stochastic_mean_minutes(const LoadProfile& profile, int runs,
 
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
-  args.declare("csv").declare("full").declare("runs");
+  args.declare("csv").declare("full").declare("runs").declare("engine")
+      .declare("threads").declare("delta").declare("json");
   args.validate();
   const int runs = args.get_int("runs", args.has("full") ? 200 : 50);
+  const std::string engine =
+      args.get_choice("engine", "uniformization", engine::backend_names());
+  const auto threads =
+      static_cast<std::size_t>(args.get_positive_int("threads", 0));
+  const double delta = args.get_double("delta", 100.0);
 
   std::cout << "=== Table 1: experimental and computed lifetimes (min) ===\n"
             << "Battery: C = 7200 As, c = 0.625 (from [9]); k calibrated so "
@@ -107,6 +120,54 @@ int main(int argc, char** argv) {
                    io::format_double(lifetime_minutes(modified, profile), 0)});
   }
   kibamrm::bench::emit(table, args, "table1.csv");
+
+  // Batched Markovian block: the same three loads as CTMC workloads (the
+  // continuous draw is a one-state chain, the square waves their Erlang-1
+  // on/off analogues), solved concurrently through the engine layer.
+  workload::WorkloadBuilder continuous_builder;
+  continuous_builder.set_initial_state(
+      continuous_builder.add_state("on", 0.96));
+  const battery::KibamParameters markov_battery{7200.0, 0.625, k};
+  const auto markov_times = core::uniform_grid(3000.0, 21000.0, 37);
+  std::vector<engine::Scenario> scenarios;
+  scenarios.push_back({"Continuous",
+                       core::KibamRmModel(continuous_builder.build(),
+                                          markov_battery),
+                       delta, markov_times});
+  for (const double frequency : {1.0, 0.2}) {
+    scenarios.push_back(
+        {io::format_double(frequency, 1) + " Hz",
+         core::KibamRmModel(
+             workload::make_onoff_model({.frequency = frequency,
+                                         .erlang_k = 1,
+                                         .on_current = 0.96}),
+             markov_battery),
+         delta, markov_times});
+  }
+  engine::ScenarioBatch batch({.engine = engine, .threads = threads});
+  const auto batch_results = batch.solve_all(scenarios);
+
+  bench::BenchReport report("table1");
+  std::cout << "Markovian approximation (batch of " << scenarios.size()
+            << " scenarios, engine = " << engine << ", Delta = " << delta
+            << ", " << batch.last_stats().threads << " threads):\n";
+  for (const auto& result : batch_results) {
+    if (result.skipped) {
+      std::cout << "  " << result.label << ": skipped ("
+                << result.skip_reason << ")\n";
+      continue;
+    }
+    std::cout << "  median[" << result.label << "] = "
+              << io::format_double(
+                     units::seconds_to_minutes(result.curve->median()), 0)
+              << " min (" << result.stats.expanded_states << " states, "
+              << io::format_double(result.wall_seconds, 2) << " s)\n";
+    bench::add_scenario_record(report, result, delta)
+        .field("threads", batch.last_stats().threads);
+  }
+  bench::add_batch_record(report, engine, batch.last_stats());
+  report.write(args);
+  std::cout << '\n';
 
   std::cout << "Paper's Table 1 for comparison (min):\n"
             << "  Continuous  90 |  91 |  90 |  89\n"

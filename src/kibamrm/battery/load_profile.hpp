@@ -54,6 +54,9 @@ class LoadProfile {
 class SegmentWalker {
  public:
   explicit SegmentWalker(const LoadProfile& profile);
+  /// The walker only references the profile; a temporary would dangle
+  /// after the constructor's full expression (ASan: stack-use-after-scope).
+  explicit SegmentWalker(LoadProfile&&) = delete;
 
   /// The current segment's current.
   double current() const;

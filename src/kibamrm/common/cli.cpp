@@ -64,6 +64,16 @@ int CliArgs::get_int(const std::string& name, int fallback) const {
   return as_int;
 }
 
+int CliArgs::get_positive_int(const std::string& name, int fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || !it->second.has_value()) return fallback;
+  const int value = get_int(name, fallback);
+  KIBAMRM_REQUIRE(value >= 1, "option --" + name +
+                                  " must be a positive integer, got: " +
+                                  *it->second);
+  return value;
+}
+
 std::vector<double> CliArgs::get_double_list(
     const std::string& name, std::vector<double> fallback) const {
   const auto it = options_.find(name);

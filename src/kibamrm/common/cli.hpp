@@ -27,6 +27,12 @@ class CliArgs {
   double get_double(const std::string& name, double fallback) const;
   int get_int(const std::string& name, int fallback) const;
 
+  /// get_int additionally requiring any *provided* value to be >= 1 --
+  /// thread counts, replication counts.  Rejects 0, negatives, fractions
+  /// and garbage with InvalidArgument.  The fallback itself is exempt, so
+  /// callers may default to a sentinel (e.g. 0 = auto-detect threads).
+  int get_positive_int(const std::string& name, int fallback) const;
+
   /// Parses a comma-separated list of doubles, e.g. `--delta 100,50,25`.
   std::vector<double> get_double_list(const std::string& name,
                                       std::vector<double> fallback) const;

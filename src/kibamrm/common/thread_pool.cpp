@@ -1,0 +1,100 @@
+#include "kibamrm/common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::common {
+
+std::size_t ThreadPool::hardware_thread_count() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : lanes_(threads == 0 ? hardware_thread_count() : threads) {
+  workers_.reserve(lanes_ - 1);
+  // Lane 0 is the calling thread; workers take lanes 1..n-1.
+  for (std::size_t lane = 1; lane < lanes_; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain(std::size_t lane) {
+  for (;;) {
+    const std::size_t index = next_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= count_) return;
+    try {
+      (*task_)(index, lane);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!failure_) failure_ = std::current_exception();
+      // Stop claiming further work; indices already claimed elsewhere
+      // still finish, which keeps the join below well-defined.
+      next_.store(count_, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ready_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+    }
+    drain(lane);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+    job_done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& task) {
+  KIBAMRM_REQUIRE(static_cast<bool>(task), "parallel_for task must be set");
+  if (count == 0) return;
+  if (lanes_ == 1 || count == 1) {
+    // No pool involvement: zero synchronisation and exceptions propagate
+    // directly, so a 1-lane pool behaves exactly like a plain loop.
+    for (std::size_t index = 0; index < count; ++index) task(index, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = workers_.size();
+    failure_ = nullptr;
+    ++generation_;
+  }
+  job_ready_.notify_all();
+  drain(0);  // the caller participates as lane 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_done_.wait(lock, [&] { return active_ == 0; });
+  task_ = nullptr;
+  if (failure_) {
+    std::exception_ptr failure = failure_;
+    failure_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(failure);
+  }
+}
+
+}  // namespace kibamrm::common

@@ -1,0 +1,79 @@
+// A small persistent worker pool for data-parallel loops.
+//
+// The expanded battery chains are solved by long sequences of sparse
+// matrix-vector products; each product splits into independent row ranges.
+// ThreadPool keeps its workers alive across those products (a lifetime
+// curve issues tens of thousands of them -- spawning threads per product
+// would dominate the kernel), distributes loop indices through an atomic
+// counter so uneven shards self-balance, and lets the calling thread work
+// too: a pool of size 1 degenerates to a plain inline loop with no
+// synchronisation at all.
+//
+// Users: engine/ParallelUniformizationBackend (sharded spmv) and
+// engine/ScenarioBatch (concurrent scenario solves with per-lane scratch).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kibamrm::common {
+
+/// Fixed-size pool executing parallel index loops.  parallel_for() is
+/// blocking and must not be called concurrently from multiple threads or
+/// re-entered from inside a task.
+class ThreadPool {
+ public:
+  /// `threads` = total execution lanes including the caller; 0 selects
+  /// hardware_thread_count().  A pool of size n spawns n-1 workers.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution lanes (>= 1).
+  std::size_t thread_count() const { return lanes_; }
+
+  /// Runs task(index, lane) for every index in [0, count), blocking until
+  /// all complete.  `lane` identifies the executing lane in [0,
+  /// thread_count()) -- tasks key per-thread scratch off it; two tasks with
+  /// the same lane never run concurrently.  Indices are claimed through an
+  /// atomic counter, so per-index cost may vary freely.  The first
+  /// exception thrown by a task is rethrown here after the loop drains.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t index,
+                                             std::size_t lane)>& task);
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static std::size_t hardware_thread_count();
+
+ private:
+  void worker_loop(std::size_t lane);
+  /// Claims indices until the job is exhausted; records the first failure.
+  void drain(std::size_t lane);
+
+  std::size_t lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  // Current job; generation_ bumps once per dispatch so late-waking
+  // workers never re-run a finished job.
+  const std::function<void(std::size_t, std::size_t)>* task_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};  // next unclaimed index (lock-free)
+  std::size_t active_ = 0;            // workers still inside drain()
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr failure_;
+};
+
+}  // namespace kibamrm::common

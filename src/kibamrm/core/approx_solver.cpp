@@ -13,6 +13,7 @@ MarkovianApproximation::MarkovianApproximation(const KibamRmModel& model,
           options_.engine,
           {.epsilon = options_.epsilon,
            .dense_state_limit = options_.dense_state_limit,
+           .threads = options_.threads,
            // The curve only needs the streamed Pr{empty} values, not one
            // distribution copy per time point.
            .collect_distributions = false})) {
@@ -22,19 +23,28 @@ MarkovianApproximation::MarkovianApproximation(const KibamRmModel& model,
 }
 
 LifetimeCurve MarkovianApproximation::solve(const std::vector<double>& times) {
-  std::vector<double> probabilities(times.size(), 0.0);
-  backend_->solve(expanded_.chain, expanded_.initial, times,
-                  [&](std::size_t index, double /*t*/,
-                      const std::vector<double>& pi) {
-                    probabilities[index] = expanded_.empty_probability(pi);
-                  });
+  LifetimeCurve curve = solve_empty_probability_curve(expanded_, *backend_,
+                                                      times, options_.epsilon);
   stats_.uniformization_iterations = backend_->last_stats().iterations;
   stats_.uniformization_rate = backend_->last_stats().uniformization_rate;
+  return curve;
+}
+
+LifetimeCurve solve_empty_probability_curve(const ExpandedChain& expanded,
+                                            engine::TransientBackend& backend,
+                                            const std::vector<double>& times,
+                                            double epsilon) {
+  std::vector<double> probabilities(times.size(), 0.0);
+  backend.solve(expanded.chain, expanded.initial, times,
+                [&](std::size_t index, double /*t*/,
+                    const std::vector<double>& pi) {
+                  probabilities[index] = expanded.empty_probability(pi);
+                });
   // The iterative engines can leave round-off outside [0, 1] and small
   // CDF dips at the scale of their configured tolerance (with head-room
   // for accumulation over the curve); clamp that, anything larger is a
   // bug and throws.
-  const double tolerance = std::max(1e-6, 10.0 * options_.epsilon);
+  const double tolerance = std::max(1e-6, 10.0 * epsilon);
   sanitize_probabilities(probabilities, tolerance);
   return LifetimeCurve(times, std::move(probabilities), tolerance);
 }

@@ -33,6 +33,9 @@ struct ApproximationOptions {
   std::string engine = "uniformization";
   /// Refusal threshold of the dense engine (states).
   std::size_t dense_state_limit = 1024;
+  /// Execution lanes of the "parallel" engine; 0 auto-detects.  Ignored by
+  /// the serial engines.
+  std::size_t threads = 0;
 };
 
 /// Cost/shape diagnostics of one approximation run.
@@ -72,5 +75,15 @@ class MarkovianApproximation {
 LifetimeCurve approximate_lifetime_distribution(
     const KibamRmModel& model, double delta, const std::vector<double>& times,
     const std::string& engine = "uniformization");
+
+/// The shared tail of every approximation pipeline: streams Pr{empty at t}
+/// for the expanded chain through `backend`, clamps solver round-off (the
+/// tolerance policy lives here and only here) and builds the curve.  Both
+/// MarkovianApproximation::solve and engine::ScenarioBatch call this, so
+/// batched and sequential solves of the same scenario cannot diverge.
+LifetimeCurve solve_empty_probability_curve(const ExpandedChain& expanded,
+                                            engine::TransientBackend& backend,
+                                            const std::vector<double>& times,
+                                            double epsilon);
 
 }  // namespace kibamrm::core

@@ -1,0 +1,55 @@
+// Parallel uniformisation backend: the paper's transient solver with its
+// sparse matrix-vector products sharded across a thread pool.
+//
+// The serial backend's hot kernel is the left product pi * P, a *scatter*
+// over rows of P -- rows race on output entries, so it does not shard.
+// This backend stores P transposed once per solve and computes
+//     next[j] = sum_k P^T(j,k) * power[k]  =  (power * P)[j],
+// a *gather*: each output entry is one CSR-row dot product, so disjoint
+// row ranges of P^T write disjoint outputs and need no synchronisation.
+// Ranges are balanced by non-zero count (CsrMatrix::balanced_row_ranges)
+// and claimed dynamically from a common::ThreadPool.
+//
+// Because every out[j] is summed in the fixed storage order of its P^T
+// row, the result is bitwise identical for every thread count and shard
+// partition -- "--threads 8" reproduces "--threads 1" exactly, which the
+// determinism tests in tests/test_engine_parallel.cpp pin down.
+#pragma once
+
+#include <memory>
+
+#include "kibamrm/common/thread_pool.hpp"
+#include "kibamrm/engine/transient_backend.hpp"
+#include "kibamrm/linalg/csr_matrix.hpp"
+
+namespace kibamrm::engine {
+
+class ParallelUniformizationBackend final : public TransientBackend {
+ public:
+  explicit ParallelUniformizationBackend(BackendOptions options);
+
+  std::string_view name() const override { return "parallel"; }
+
+  std::vector<std::vector<double>> solve(
+      const markov::Ctmc& chain, const std::vector<double>& initial,
+      const std::vector<double>& times,
+      const PointCallback& on_point = nullptr) override;
+
+  const BackendStats& last_stats() const override { return stats_; }
+
+  /// Lanes the pool actually runs (after auto-detection).
+  std::size_t thread_count() const { return pool_->thread_count(); }
+
+ private:
+  BackendOptions options_;
+  BackendStats stats_;
+  std::unique_ptr<common::ThreadPool> pool_;
+  // Scratch reused across increments and solve() calls (same discipline as
+  // markov::TransientSolver): a whole curve allocates only on its first
+  // increment.
+  std::vector<double> power_;
+  std::vector<double> next_;
+  std::vector<double> accum_;
+};
+
+}  // namespace kibamrm::engine

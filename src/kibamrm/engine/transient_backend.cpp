@@ -7,6 +7,7 @@
 #include "kibamrm/common/error.hpp"
 #include "kibamrm/engine/adaptive_backend.hpp"
 #include "kibamrm/engine/dense_expm_backend.hpp"
+#include "kibamrm/engine/parallel_backend.hpp"
 #include "kibamrm/engine/uniformization_backend.hpp"
 #include "kibamrm/linalg/vector_ops.hpp"
 
@@ -27,6 +28,10 @@ std::map<std::string, BackendFactory, std::less<>>& registry() {
       {"dense",
        [](const BackendOptions& options) -> std::unique_ptr<TransientBackend> {
          return std::make_unique<DenseExpmBackend>(options);
+       }},
+      {"parallel",
+       [](const BackendOptions& options) -> std::unique_ptr<TransientBackend> {
+         return std::make_unique<ParallelUniformizationBackend>(options);
        }},
   };
   return backends;

@@ -18,9 +18,13 @@
 //   "dense"           dense Pade matrix exponential (linalg/expm) with
 //                     increment caching -- cross-validation oracle for
 //                     chains below a configurable state threshold
+//   "parallel"        uniformisation with the spmv sharded across a
+//                     ThreadPool (transposed gather kernel, nnz-balanced
+//                     row ranges) -- bitwise deterministic across thread
+//                     counts; the multi-core production path
 //
-// New backends (parallel, sharded, GPU) register through register_backend()
-// without another restructure of the call sites.
+// New backends (sharded, GPU) register through register_backend() without
+// another restructure of the call sites.
 #pragma once
 
 #include <cstdint>
@@ -60,6 +64,9 @@ struct BackendOptions {
   /// The dense backend refuses chains above this state count (its cost is
   /// O(states^3) per distinct increment).
   std::size_t dense_state_limit = 1024;
+  /// Execution lanes of the parallel uniformisation backend; 0 auto-detects
+  /// the hardware thread count.  Other backends ignore it.
+  std::size_t threads = 0;
   /// When false, solve() returns an empty vector and delivers points only
   /// through the callback -- curve consumers on million-state chains avoid
   /// materialising time_points * states doubles they never read.

@@ -77,6 +77,52 @@ void CsrMatrix::multiply(const std::vector<double>& x,
   }
 }
 
+void CsrMatrix::multiply_range(const std::vector<double>& x,
+                               std::vector<double>& out,
+                               std::size_t row_begin,
+                               std::size_t row_end) const {
+  KIBAMRM_REQUIRE(x.size() == cols_, "multiply_range: dimension mismatch");
+  KIBAMRM_REQUIRE(out.size() == rows_,
+                  "multiply_range: output not pre-sized to rows()");
+  KIBAMRM_REQUIRE(row_begin <= row_end && row_end <= rows_,
+                  "multiply_range: invalid row range");
+  for (std::size_t row = row_begin; row < row_end; ++row) {
+    double acc = 0.0;
+    for (std::uint32_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    out[row] = acc;
+  }
+}
+
+std::vector<std::size_t> CsrMatrix::balanced_row_ranges(
+    std::size_t parts) const {
+  KIBAMRM_REQUIRE(parts > 0, "balanced_row_ranges: parts must be positive");
+  // Weight each row by nnz + 1: the +1 charges the unconditional output
+  // write, so a block of empty rows still counts as work.
+  std::vector<std::size_t> ranges = {0};
+  double outstanding = static_cast<double>(nonzeros() + rows_);
+  double carried = 0.0;
+  for (std::size_t row = 0; row < rows_; ++row) {
+    carried += static_cast<double>(row_ptr_[row + 1] - row_ptr_[row]) + 1.0;
+    // Close the current range once it holds its fair share of the weight
+    // still outstanding (recomputed after every split, so one huge row
+    // cannot starve the later ranges), never creating more ranges than
+    // rows remain.
+    const std::size_t open = ranges.size();
+    const double fair_share =
+        outstanding / static_cast<double>(parts - open + 1);
+    if (open < parts && carried >= fair_share &&
+        rows_ - row - 1 >= parts - open) {
+      ranges.push_back(row + 1);
+      outstanding -= carried;
+      carried = 0.0;
+    }
+  }
+  ranges.push_back(rows_);
+  return ranges;
+}
+
 void CsrMatrix::left_multiply(const std::vector<double>& pi,
                               std::vector<double>& out) const {
   KIBAMRM_REQUIRE(pi.size() == rows_, "left_multiply: dimension mismatch");

@@ -71,7 +71,8 @@ TEST(SegmentWalker, WalksPeriodicProfile) {
 }
 
 TEST(SegmentWalker, OverconsumeRejected) {
-  SegmentWalker walker(LoadProfile::square_wave(0.5, 1.0));
+  const LoadProfile profile = LoadProfile::square_wave(0.5, 1.0);
+  SegmentWalker walker(profile);
   EXPECT_THROW(walker.consume(1.5), InvalidArgument);
 }
 

@@ -57,6 +57,37 @@ TEST(CliArgs, IntRejectsFractional) {
   EXPECT_THROW(args.get_int("runs", 0), InvalidArgument);
 }
 
+TEST(CliArgs, PositiveIntAcceptsPositiveValues) {
+  const CliArgs args = parse({"p", "--threads", "4"});
+  EXPECT_EQ(args.get_positive_int("threads", 0), 4);
+}
+
+TEST(CliArgs, PositiveIntFallbackExemptFromPositivity) {
+  // 0 as a *fallback* is the auto-detect sentinel and must pass through;
+  // only user-provided values are validated.
+  const CliArgs args = parse({"p"});
+  EXPECT_EQ(args.get_positive_int("threads", 0), 0);
+}
+
+TEST(CliArgs, PositiveIntRejectsZero) {
+  const CliArgs args = parse({"p", "--threads", "0"});
+  EXPECT_THROW(args.get_positive_int("threads", 1), InvalidArgument);
+}
+
+TEST(CliArgs, PositiveIntRejectsNegative) {
+  const CliArgs args = parse({"p", "--threads", "-2"});
+  EXPECT_THROW(args.get_positive_int("threads", 1), InvalidArgument);
+}
+
+TEST(CliArgs, PositiveIntRejectsGarbageAndFractions) {
+  EXPECT_THROW(parse({"p", "--threads", "many"})
+                   .get_positive_int("threads", 1),
+               InvalidArgument);
+  EXPECT_THROW(parse({"p", "--threads", "2.5"})
+                   .get_positive_int("threads", 1),
+               InvalidArgument);
+}
+
 TEST(CliArgs, DoubleListParsing) {
   const CliArgs args = parse({"p", "--delta", "100,50,25,5"});
   const std::vector<double> values = args.get_double_list("delta", {});

@@ -1,0 +1,217 @@
+// Tests for the parallel uniformisation backend, the ThreadPool beneath it
+// and the batched multi-scenario solve layer.
+//
+// The two properties the CI sanitizer matrix leans on:
+//   1. "parallel" agrees with "uniformization" within 1e-10 on the paper's
+//      Fig. 8 KiBaM scenario at every thread count, and
+//   2. results are *bitwise* identical across thread counts (the gather
+//      kernel sums each output entry in fixed CSR order, so the partition
+//      cannot change the arithmetic).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/common/thread_pool.hpp"
+#include "kibamrm/core/approx_solver.hpp"
+#include "kibamrm/core/expanded_ctmc.hpp"
+#include "kibamrm/engine/parallel_backend.hpp"
+#include "kibamrm/engine/scenario_batch.hpp"
+#include "kibamrm/engine/transient_backend.hpp"
+#include "kibamrm/linalg/vector_ops.hpp"
+#include "kibamrm/workload/onoff_model.hpp"
+
+namespace kibamrm::engine {
+namespace {
+
+// The Fig. 8 scenario: on/off workload over the full two-well KiBaM.
+core::KibamRmModel fig8_kibam() {
+  return core::KibamRmModel(
+      workload::make_onoff_model({.frequency = 1.0, .erlang_k = 1,
+                                  .on_current = 0.96}),
+      {.capacity = 7200.0, .available_fraction = 0.625,
+       .flow_constant = 4.5e-5});
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  common::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t index, std::size_t lane) {
+    ASSERT_LT(lane, pool.thread_count());
+    hits[index].fetch_add(1);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches) {
+  // The spmv loop dispatches tens of thousands of tiny jobs; the pool must
+  // neither deadlock nor leak across them.
+  common::ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 500; ++round) {
+    pool.parallel_for(7, [&](std::size_t, std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 500u * 7u);
+}
+
+TEST(ThreadPool, AutoDetectsAtLeastOneLane) {
+  common::ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  std::atomic<int> runs{0};
+  pool.parallel_for(5, [&](std::size_t, std::size_t) { ++runs; });
+  EXPECT_EQ(runs.load(), 5);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  for (const std::size_t lanes : {1u, 3u}) {
+    common::ThreadPool pool(lanes);
+    EXPECT_THROW(
+        pool.parallel_for(16,
+                          [&](std::size_t index, std::size_t) {
+                            if (index == 11) {
+                              throw std::runtime_error("boom");
+                            }
+                          }),
+        std::runtime_error);
+    // And the pool still works afterwards.
+    std::atomic<int> runs{0};
+    pool.parallel_for(4, [&](std::size_t, std::size_t) { ++runs; });
+    EXPECT_EQ(runs.load(), 4);
+  }
+}
+
+TEST(ParallelBackend, RegisteredByName) {
+  EXPECT_TRUE(is_backend_name("parallel"));
+  EXPECT_EQ(make_backend("parallel")->name(), "parallel");
+}
+
+TEST(ParallelBackend, MatchesUniformizationOnFig8AtEveryThreadCount) {
+  // The acceptance scenario: full-curve agreement within 1e-10 against the
+  // serial production engine at 1, 2 and 8 threads.
+  const auto times = core::uniform_grid(6000.0, 20000.0, 15);
+  core::MarkovianApproximation reference(
+      fig8_kibam(), {.delta = 300.0, .engine = "uniformization"});
+  const core::LifetimeCurve expected = reference.solve(times);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    core::MarkovianApproximation solver(
+        fig8_kibam(),
+        {.delta = 300.0, .engine = "parallel", .threads = threads});
+    const core::LifetimeCurve curve = solver.solve(times);
+    EXPECT_LT(curve.max_difference(expected), 1e-10)
+        << "threads = " << threads;
+    EXPECT_EQ(solver.last_stats().uniformization_iterations,
+              reference.last_stats().uniformization_iterations)
+        << "same Fox-Glynn windows, same DTMC step count";
+  }
+}
+
+TEST(ParallelBackend, FullDistributionsMatchSerialBackend) {
+  // Delta = 50 puts the chain (~10k states, ~40k nonzeros) above the
+  // backend's inline threshold, so this exercises the sharded pool path.
+  const auto expanded = core::build_expanded_chain(fig8_kibam(), 50.0);
+  const std::vector<double> times = {12000.0};
+  auto serial = make_backend("uniformization");
+  const auto expected =
+      serial->solve(expanded.chain, expanded.initial, times);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    auto backend = make_backend("parallel", {.threads = threads});
+    const auto actual =
+        backend->solve(expanded.chain, expanded.initial, times);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t k = 0; k < times.size(); ++k) {
+      EXPECT_LT(linalg::linf_distance(actual[k], expected[k]), 1e-10)
+          << "threads = " << threads << ", t = " << times[k];
+    }
+    EXPECT_EQ(backend->last_stats().time_points, times.size());
+    EXPECT_GT(backend->last_stats().iterations, 0u);
+    EXPECT_GT(backend->last_stats().uniformization_rate, 0.0);
+  }
+}
+
+TEST(ParallelBackend, BitwiseDeterministicAcrossThreadCounts) {
+  // Above the inline threshold: the shard partition differs per thread
+  // count, the arithmetic must not.
+  const auto expanded = core::build_expanded_chain(fig8_kibam(), 50.0);
+  const std::vector<double> times = {10000.0};
+  auto one = make_backend("parallel", {.threads = 1});
+  const auto baseline = one->solve(expanded.chain, expanded.initial, times);
+  for (const std::size_t threads : {2u, 5u}) {
+    auto backend = make_backend("parallel", {.threads = threads});
+    const auto result =
+        backend->solve(expanded.chain, expanded.initial, times);
+    // Bitwise equality, not a tolerance: the gather kernel's summation
+    // order is independent of the shard partition.
+    EXPECT_EQ(result, baseline) << "threads = " << threads;
+  }
+}
+
+TEST(ScenarioBatch, MatchesSequentialSolvesAndThreadCountInvariant) {
+  const auto times = core::uniform_grid(6000.0, 20000.0, 8);
+  std::vector<Scenario> scenarios;
+  for (const double delta : {450.0, 300.0, 900.0}) {
+    scenarios.push_back({"Delta=" + std::to_string(delta), fig8_kibam(),
+                         delta, times});
+  }
+
+  std::vector<std::vector<double>> reference;
+  for (const Scenario& scenario : scenarios) {
+    core::MarkovianApproximation solver(
+        scenario.model, {.delta = scenario.delta, .engine = "uniformization"});
+    reference.push_back(solver.solve(times).probabilities());
+  }
+
+  for (const std::size_t threads : {1u, 3u}) {
+    ScenarioBatch batch({.engine = "uniformization", .threads = threads});
+    const auto results = batch.solve_all(scenarios);
+    ASSERT_EQ(results.size(), scenarios.size());
+    EXPECT_EQ(batch.last_stats().scenarios, scenarios.size());
+    EXPECT_EQ(batch.last_stats().skipped, 0u);
+    EXPECT_EQ(batch.last_stats().threads, threads);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_FALSE(results[i].skipped);
+      ASSERT_TRUE(results[i].curve.has_value());
+      EXPECT_EQ(results[i].label, scenarios[i].label) << "positional order";
+      // Determinism across thread counts is bitwise: same chains, same
+      // engine arithmetic, results only land in different lanes.
+      EXPECT_EQ(results[i].curve->probabilities(), reference[i])
+          << "threads = " << threads << ", scenario " << i;
+      EXPECT_GT(results[i].stats.expanded_states, 0u);
+      EXPECT_GT(results[i].stats.uniformization_iterations, 0u);
+    }
+  }
+}
+
+TEST(ScenarioBatch, SkipsUnsupportedChainsWithoutAborting) {
+  const auto times = core::uniform_grid(6000.0, 20000.0, 5);
+  // Delta = 450 fits under the dense limit below, Delta = 100 does not.
+  std::vector<Scenario> scenarios = {
+      {"coarse", fig8_kibam(), 450.0, times},
+      {"fine", fig8_kibam(), 100.0, times},
+  };
+  ScenarioBatch batch({.engine = "dense", .dense_state_limit = 200,
+                       .threads = 2});
+  const auto results = batch.solve_all(scenarios);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].curve.has_value());
+  EXPECT_TRUE(results[1].skipped);
+  EXPECT_FALSE(results[1].skip_reason.empty());
+  EXPECT_EQ(batch.last_stats().skipped, 1u);
+}
+
+TEST(ScenarioBatch, RejectsUnknownEngineUpFront) {
+  EXPECT_THROW(ScenarioBatch({.engine = "not-an-engine"}), InvalidArgument);
+}
+
+TEST(ScenarioBatch, EmptyBatchIsANoOp) {
+  ScenarioBatch batch({.threads = 2});
+  EXPECT_TRUE(batch.solve_all({}).empty());
+  EXPECT_EQ(batch.last_stats().scenarios, 0u);
+}
+
+}  // namespace
+}  // namespace kibamrm::engine

@@ -26,9 +26,10 @@ void sweep(const core::KibamRmModel& model, const std::vector<double>& deltas,
   io::Table table({"Delta", "states", "nonzeros", "q (1/s)", "iterations",
                    "solve time (s)"});
   for (double delta : deltas) {
-    const auto run = bench::run_approximation(
-        model, {.delta = delta, .engine = engine, .threads = threads},
-        {17000.0});
+    core::ApproximationOptions options{
+        .delta = delta, .engine = engine, .threads = threads};
+    bench::apply_engine_tuning(args, options);
+    const auto run = bench::run_approximation(model, options, {17000.0});
     if (run.skipped) continue;
     table.add_row({io::format_double(delta, 0),
                    std::to_string(run.stats.expanded_states),
@@ -48,7 +49,7 @@ void sweep(const core::KibamRmModel& model, const std::vector<double>& deltas,
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   args.declare("csv").declare("full").declare("engine").declare("json")
-      .declare("threads");
+      .declare("threads").declare("no-fuse").declare("no-detect");
   args.validate();
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());

@@ -9,6 +9,9 @@
 //   --engine NAME   transient engine (where the bench solves chains)
 //   --threads N     engine/batch execution lanes (0/absent = auto-detect)
 //   --batch         solve all configurations through engine::ScenarioBatch
+//   --no-fuse       run the pre-fusion baseline uniformisation loop (the
+//                   measured reference of the CI fused-speedup gate)
+//   --no-detect     disable steady-state early termination
 #pragma once
 
 #include <chrono>
@@ -149,6 +152,21 @@ inline std::size_t resolved_thread_count(const std::string& engine,
                         : requested;
 }
 
+/// Engine-tuning flags shared by every solver driver: --no-fuse selects
+/// the pre-fusion baseline loop, --no-detect disables steady-state early
+/// termination (uniformisation engines; other engines ignore both).
+inline void apply_engine_tuning(const common::CliArgs& args,
+                                core::ApproximationOptions& options) {
+  options.fused_kernels = !args.has("no-fuse");
+  options.steady_state_detection = !args.has("no-detect");
+}
+
+inline void apply_engine_tuning(const common::CliArgs& args,
+                                engine::ScenarioBatchOptions& options) {
+  options.fused_kernels = !args.has("no-fuse");
+  options.steady_state_detection = !args.has("no-detect");
+}
+
 /// One engine-backed approximation solve for the sweep drivers: constructs
 /// the solver, times the solve, and turns an engine refusal
 /// (engine::UnsupportedChainError, e.g. dense over its state limit) into a
@@ -180,9 +198,27 @@ inline EngineRun run_approximation(const core::KibamRmModel& model,
   return run;
 }
 
+/// Work rate of the uniformisation kernel: stored entries of the matrix
+/// the loop actually iterated (active_nonzeros -- the compacted transpose
+/// when fused, the full uniformised P otherwise; generator nonzeros as a
+/// fallback for engines that do not report it) times DTMC steps per wall
+/// second.  Tracks kernel-level regressions the wall time alone hides
+/// (e.g. an iteration-count change masking a slower spmv, or a grown
+/// reachable closure masquerading as one).  0 when the run did no
+/// iterations or took no measurable time.
+inline double spmv_throughput(const core::ApproximationStats& stats,
+                              double wall_seconds) {
+  if (wall_seconds <= 0.0 || stats.uniformization_iterations == 0) return 0.0;
+  const std::uint64_t nonzeros = stats.active_nonzeros != 0
+                                     ? stats.active_nonzeros
+                                     : stats.generator_nonzeros;
+  return static_cast<double>(nonzeros) *
+         static_cast<double>(stats.uniformization_iterations) / wall_seconds;
+}
+
 /// Appends the standard per-configuration record (engine, delta, states,
-/// nonzeros, iterations, wall time); returns it for driver-specific extra
-/// fields.
+/// nonzeros, iterations, early-termination savings, effective spmv
+/// throughput, wall time); returns it for driver-specific extra fields.
 inline BenchRecord& add_engine_record(BenchReport& report,
                                       const EngineRun& run, double delta) {
   return report.add_record()
@@ -191,6 +227,10 @@ inline BenchRecord& add_engine_record(BenchReport& report,
       .field("states", run.stats.expanded_states)
       .field("nonzeros", run.stats.generator_nonzeros)
       .field("iterations", run.stats.uniformization_iterations)
+      .field("iterations_saved", run.stats.iterations_saved)
+      .field("active_states", run.stats.active_states)
+      .field("active_nonzeros", run.stats.active_nonzeros)
+      .field("spmv_throughput", spmv_throughput(run.stats, run.wall_seconds))
       .field("wall_seconds", run.wall_seconds);
 }
 
@@ -207,6 +247,11 @@ inline BenchRecord& add_scenario_record(BenchReport& report,
       .field("states", result.stats.expanded_states)
       .field("nonzeros", result.stats.generator_nonzeros)
       .field("iterations", result.stats.uniformization_iterations)
+      .field("iterations_saved", result.stats.iterations_saved)
+      .field("active_states", result.stats.active_states)
+      .field("active_nonzeros", result.stats.active_nonzeros)
+      .field("spmv_throughput",
+             spmv_throughput(result.stats, result.wall_seconds))
       .field("wall_seconds", result.wall_seconds);
 }
 
@@ -223,7 +268,8 @@ inline BenchRecord& add_batch_record(BenchReport& report,
       .field("threads", stats.threads)
       .field("batch_wall_seconds", stats.wall_seconds)
       .field("solve_seconds_total", stats.solve_seconds_total)
-      .field("iterations", stats.iterations_total);
+      .field("iterations", stats.iterations_total)
+      .field("iterations_saved", stats.iterations_saved_total);
 }
 
 }  // namespace kibamrm::bench

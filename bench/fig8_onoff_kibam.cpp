@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   args.declare("csv").declare("full").declare("points").declare("delta")
       .declare("runs").declare("engine").declare("json").declare("threads")
-      .declare("batch");
+      .declare("batch").declare("no-fuse").declare("no-detect");
   args.validate();
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());
@@ -67,8 +67,10 @@ int main(int argc, char** argv) {
       scenarios.push_back({"Delta=" + io::format_double(delta, 0), model,
                            delta, times});
     }
-    engine::ScenarioBatch batch(
-        {.engine = engine, .threads = threads});
+    engine::ScenarioBatchOptions batch_options{.engine = engine,
+                                               .threads = threads};
+    bench::apply_engine_tuning(args, batch_options);
+    engine::ScenarioBatch batch(batch_options);
     const auto results = batch.solve_all(scenarios);
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& result = results[i];
@@ -98,9 +100,10 @@ int main(int argc, char** argv) {
               << " s summed solve time)\n";
   } else {
     for (double delta : deltas) {
-      const auto run = bench::run_approximation(
-          model, {.delta = delta, .engine = engine, .threads = threads},
-          times);
+      core::ApproximationOptions options{
+          .delta = delta, .engine = engine, .threads = threads};
+      bench::apply_engine_tuning(args, options);
+      const auto run = bench::run_approximation(model, options, times);
       if (run.skipped) continue;
       curves.push_back(*run.curve);
       labels.push_back("Delta=" + io::format_double(delta, 0));

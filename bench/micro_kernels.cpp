@@ -1,8 +1,9 @@
 // Google-benchmark micro kernels for the numerical substrate: the CSR
-// left-multiply (uniformisation's inner loop), Fox-Glynn window
-// construction, the dense complex matrix exponential (the exact solver's
-// inner call), a full uniformisation transient solve, and expanded-chain
-// construction.
+// left-multiply (uniformisation's inner loop) and its fused scatter and
+// gather variants, the compressed FusedGatherPlan kernel, Fox-Glynn
+// window construction and plan-cache reuse, the dense complex matrix
+// exponential (the exact solver's inner call), full uniformisation
+// transient solves (fused vs baseline), and expanded-chain construction.
 #include <benchmark/benchmark.h>
 
 #include <complex>
@@ -12,6 +13,7 @@
 #include "kibamrm/core/exact_c1.hpp"
 #include "kibamrm/linalg/csr_matrix.hpp"
 #include "kibamrm/linalg/expm.hpp"
+#include "kibamrm/linalg/fused_gather.hpp"
 #include "kibamrm/markov/fox_glynn.hpp"
 #include "kibamrm/markov/uniformization.hpp"
 #include "kibamrm/workload/onoff_model.hpp"
@@ -55,6 +57,74 @@ void BM_CsrLeftMultiply(benchmark::State& state) {
 }
 BENCHMARK(BM_CsrLeftMultiply)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
 
+void BM_CsrMultiplyFusedRange(benchmark::State& state) {
+  // The fused gather step (spmv + weighted accumulate + sup-norm delta in
+  // one pass) on the transposed banded chain -- the per-iteration work of
+  // the fused uniformisation loop, CSR fallback flavour.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::CsrMatrix pt = banded_stochastic(n).transposed();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> out(n, 0.0);
+  std::vector<double> accum(n, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pt.multiply_fused_range(pi, out, accum, 1e-4, 0, n));
+    pi.swap(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pt.nonzeros()));
+}
+BENCHMARK(BM_CsrMultiplyFusedRange)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_FusedGatherPlanKernel(benchmark::State& state) {
+  // Same fused step through the compressed plan (uint16 value dictionary +
+  // int16 column offsets): the production kernel of both uniformisation
+  // engines.  Compare against BM_CsrMultiplyFusedRange for the layout win.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::CsrMatrix pt = banded_stochastic(n).transposed();
+  const auto plan = linalg::FusedGatherPlan::build(pt);
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> out(n, 0.0);
+  std::vector<double> accum(n, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        plan->multiply_fused_range(pi, out, accum, 1e-4, 0, n));
+    pi.swap(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(plan->nonzeros()));
+}
+BENCHMARK(BM_FusedGatherPlanKernel)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_CsrLeftMultiplyPartitionedFused(benchmark::State& state) {
+  // The fused scatter variant (spmv + accumulate + delta, absorbing rows
+  // carried over outside the CSR structure).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::CsrMatrix p = banded_stochastic(n);
+  const auto identity = p.identity_rows();
+  std::vector<std::uint32_t> active;
+  active.reserve(n - identity.size());
+  std::size_t next_identity = 0;
+  for (std::size_t row = 0; row < n; ++row) {
+    if (next_identity < identity.size() && identity[next_identity] == row) {
+      ++next_identity;
+    } else {
+      active.push_back(static_cast<std::uint32_t>(row));
+    }
+  }
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> out(n, 0.0);
+  std::vector<double> accum(n, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.left_multiply_partitioned_fused(
+        pi, out, active, identity, 1e-4, accum));
+    pi.swap(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.nonzeros()));
+}
+BENCHMARK(BM_CsrLeftMultiplyPartitionedFused)->Arg(10000)->Arg(100000);
+
 void BM_FoxGlynnWindow(benchmark::State& state) {
   const double lambda = static_cast<double>(state.range(0));
   for (auto _ : state) {
@@ -63,6 +133,18 @@ void BM_FoxGlynnWindow(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FoxGlynnWindow)->Arg(10)->Arg(1000)->Arg(46000);
+
+void BM_FoxGlynnPlanReuse(benchmark::State& state) {
+  // Cached window lookup -- the per-increment cost on a uniform time grid
+  // once the first increment has computed the window.
+  markov::UniformizationPlan plan;
+  const double lambda = static_cast<double>(state.range(0));
+  plan.window(lambda, 1e-10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&plan.window(lambda, 1e-10));
+  }
+}
+BENCHMARK(BM_FoxGlynnPlanReuse)->Arg(1000)->Arg(46000);
 
 void BM_ComplexExpm3x3(benchmark::State& state) {
   // The exact solver's inner call: exp(t (Q - s R)) for the simple model.
@@ -115,7 +197,9 @@ void BM_BuildExpandedChain(benchmark::State& state) {
 BENCHMARK(BM_BuildExpandedChain)->Arg(100)->Arg(25)->Arg(10);
 
 void BM_TransientSolve(benchmark::State& state) {
-  // End-to-end uniformisation on the Delta = 25 single-well chain.
+  // End-to-end uniformisation on the Delta = 25 single-well chain with
+  // the production defaults: fused compacted kernel plus steady-state
+  // early termination.
   const core::KibamRmModel model(
       workload::make_onoff_model({.frequency = 1.0, .erlang_k = 1,
                                   .on_current = 0.96}),
@@ -128,5 +212,23 @@ void BM_TransientSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransientSolve);
+
+void BM_TransientSolveBaseline(benchmark::State& state) {
+  // The pre-fusion loop (scatter kernel, no early termination) on the same
+  // chain -- the reference the CI fused-speedup gate measures against.
+  const core::KibamRmModel model(
+      workload::make_onoff_model({.frequency = 1.0, .erlang_k = 1,
+                                  .on_current = 0.96}),
+      {.capacity = 7200.0, .available_fraction = 1.0, .flow_constant = 0.0});
+  const auto expanded = core::build_expanded_chain(model, 25.0);
+  for (auto _ : state) {
+    markov::TransientSolver solver(
+        expanded.chain,
+        {.fused_kernels = false, .steady_state_detection = false});
+    const auto result = solver.solve(expanded.initial, {15000.0});
+    benchmark::DoNotOptimize(result.front().data());
+  }
+}
+BENCHMARK(BM_TransientSolveBaseline);
 
 }  // namespace

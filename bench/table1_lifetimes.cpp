@@ -78,7 +78,8 @@ double stochastic_mean_minutes(const LoadProfile& profile, int runs,
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   args.declare("csv").declare("full").declare("runs").declare("engine")
-      .declare("threads").declare("delta").declare("json");
+      .declare("threads").declare("delta").declare("json")
+      .declare("no-fuse").declare("no-detect");
   args.validate();
   const int runs = args.get_int("runs", args.has("full") ? 200 : 50);
   const std::string engine =
@@ -144,7 +145,10 @@ int main(int argc, char** argv) {
              markov_battery),
          delta, markov_times});
   }
-  engine::ScenarioBatch batch({.engine = engine, .threads = threads});
+  engine::ScenarioBatchOptions batch_options{.engine = engine,
+                                             .threads = threads};
+  bench::apply_engine_tuning(args, batch_options);
+  engine::ScenarioBatch batch(batch_options);
   const auto batch_results = batch.solve_all(scenarios);
 
   bench::BenchReport report("table1");

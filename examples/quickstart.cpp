@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
   using namespace kibamrm;
 
   common::CliArgs args(argc, argv);
-  args.declare("engine").declare("delta").declare("threads");
+  args.declare("engine").declare("delta").declare("threads")
+      .declare("no-fuse").declare("no-detect");
   args.validate();
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());
@@ -56,7 +57,15 @@ int main(int argc, char** argv) {
   // Solve Pr{battery empty at t} on a grid of hours.
   const auto times = core::uniform_grid(1.0, 30.0, 30);
   core::MarkovianApproximation solver(
-      model, {.delta = delta, .engine = engine, .threads = threads});
+      model, {.delta = delta,
+              .engine = engine,
+              .threads = threads,
+              // Engine tuning knobs, mirrored by the bench drivers: the
+              // fused kernel and steady-state early termination are on by
+              // default and --no-fuse / --no-detect switch back to the
+              // baseline loop for A/B comparisons.
+              .fused_kernels = !args.has("no-fuse"),
+              .steady_state_detection = !args.has("no-detect")});
   const core::LifetimeCurve curve = solver.solve(times);
 
   // Monte-Carlo cross-check (1000 runs).

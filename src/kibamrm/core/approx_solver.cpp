@@ -16,7 +16,9 @@ MarkovianApproximation::MarkovianApproximation(const KibamRmModel& model,
            .threads = options_.threads,
            // The curve only needs the streamed Pr{empty} values, not one
            // distribution copy per time point.
-           .collect_distributions = false})) {
+           .collect_distributions = false,
+           .fused_kernels = options_.fused_kernels,
+           .steady_state_detection = options_.steady_state_detection})) {
   stats_.expanded_states = expanded_.grid.state_count();
   stats_.generator_nonzeros = expanded_.chain.generator().nonzeros();
   stats_.engine = options_.engine;
@@ -27,6 +29,11 @@ LifetimeCurve MarkovianApproximation::solve(const std::vector<double>& times) {
                                                       times, options_.epsilon);
   stats_.uniformization_iterations = backend_->last_stats().iterations;
   stats_.uniformization_rate = backend_->last_stats().uniformization_rate;
+  stats_.iterations_saved = backend_->last_stats().iterations_saved;
+  stats_.windows_computed = backend_->last_stats().windows_computed;
+  stats_.windows_reused = backend_->last_stats().windows_reused;
+  stats_.active_states = backend_->last_stats().active_states;
+  stats_.active_nonzeros = backend_->last_stats().active_nonzeros;
   return curve;
 }
 

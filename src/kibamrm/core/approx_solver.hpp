@@ -36,6 +36,12 @@ struct ApproximationOptions {
   /// Execution lanes of the "parallel" engine; 0 auto-detects.  Ignored by
   /// the serial engines.
   std::size_t threads = 0;
+  /// Fused spmv+accumulate kernels of the uniformisation engines; false
+  /// keeps the pre-fusion loop as the measured baseline.
+  bool fused_kernels = true;
+  /// Steady-state / absorption early termination inside each Poisson
+  /// window (uniformisation engines; requires fused_kernels).
+  bool steady_state_detection = true;
 };
 
 /// Cost/shape diagnostics of one approximation run.
@@ -49,6 +55,19 @@ struct ApproximationStats {
   /// field keeps its historical name for the Sec. 6.1 experiments.
   std::uint64_t uniformization_iterations = 0;
   double uniformization_rate = 0.0;
+  /// Poisson terms skipped by steady-state early termination (0 for
+  /// engines without it); iterations + iterations_saved is the full
+  /// Fox-Glynn term count.
+  std::uint64_t iterations_saved = 0;
+  /// Fox-Glynn windows computed vs served from the plan cache.
+  std::uint64_t windows_computed = 0;
+  std::uint64_t windows_reused = 0;
+  /// States in the reachable closure actually iterated by the fused
+  /// uniformisation loop (<= expanded_states; 0 for other engines), and
+  /// the stored entries of the iterated matrix (the honest work unit for
+  /// throughput metrics).
+  std::uint64_t active_states = 0;
+  std::uint64_t active_nonzeros = 0;
 };
 
 class MarkovianApproximation {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "kibamrm/linalg/fused_gather.hpp"
 #include "kibamrm/linalg/vector_ops.hpp"
 #include "kibamrm/markov/fox_glynn.hpp"
 
@@ -28,59 +30,163 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
   }
   KIBAMRM_REQUIRE(rate * (1.0 + 1e-12) >= chain.max_exit_rate(),
                   "uniformization rate below maximal exit rate");
-  // P^T once per solve: the gather kernel walks rows of P^T (= columns of
-  // P), so each output entry is private to exactly one shard.
-  const linalg::CsrMatrix pt =
-      chain.generator().uniformized(rate).transposed();
+  const bool fused = options_.fused_kernels;
+  linalg::CsrMatrix p = chain.generator().uniformized(rate);
+  // The fused path mirrors markov::TransientSolver: restrict the loop to
+  // the reachable closure of the initial support (expanded battery chains
+  // reach only ~half their states from the full-charge start) and run the
+  // compressed gather plan over the compacted transpose of P; the closure
+  // and the compaction are independent of the thread count, so the
+  // bitwise-determinism guarantee is untouched.  The baseline path keeps
+  // the full transpose.  Each output entry of the gather is private to
+  // exactly one shard either way.
+  std::vector<std::uint32_t> reachable;
+  if (fused) {
+    std::vector<std::uint32_t> seeds;
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+      if (initial[i] != 0.0) seeds.push_back(static_cast<std::uint32_t>(i));
+    }
+    reachable = p.reachable_rows(seeds);
+  }
+  linalg::CsrMatrix pt =
+      fused ? p.transposed_submatrix(reachable) : p.transposed();
+  p = linalg::CsrMatrix(1, 1);  // only needed for setup; free before the loop
+  // Compressed kernel plan (dictionary values + int16 offsets): bitwise
+  // identical arithmetic to the CSR gather at roughly a third of the
+  // memory traffic; chains that do not compress fall back to CSR.
+  const std::optional<linalg::FusedGatherPlan> plan =
+      fused ? linalg::FusedGatherPlan::build(pt) : std::nullopt;
+  const std::size_t loop_rows = pt.rows();
+  const std::size_t loop_nonzeros = pt.nonzeros();
   // More shards than lanes lets the atomic claim loop absorb row-range
   // cost imbalance the static nnz split cannot see (e.g. the all-zero
   // stretch of an early transient vector).  Below ~16k nonzeros one spmv
   // costs less than waking the pool, so small chains run inline -- the
   // gather arithmetic is identical either way, results stay bitwise equal.
   const bool use_pool =
-      pool_->thread_count() > 1 && pt.nonzeros() + pt.rows() >= 16384;
+      pool_->thread_count() > 1 && loop_nonzeros + loop_rows >= 16384;
   const std::vector<std::size_t> ranges =
       use_pool ? pt.balanced_row_ranges(4 * pool_->thread_count())
-               : std::vector<std::size_t>{0, pt.rows()};
+               : std::vector<std::size_t>{0, loop_rows};
   const std::size_t shard_count = ranges.size() - 1;
+  if (plan) {
+    pt = linalg::CsrMatrix(1, 1);  // the packed layout replaces the CSR copy
+  }
 
   stats_ = BackendStats{};
   stats_.uniformization_rate = rate;
   stats_.time_points = times.size();
+  const std::uint64_t windows_computed_before = plan_.windows_computed();
+  const std::uint64_t windows_reused_before = plan_.windows_reused();
+
+  const bool detect = options_.steady_state_detection && fused;
+  const double threshold = options_.epsilon / 2.0;
+  stats_.active_states = fused ? reachable.size() : initial.size();
+  stats_.active_nonzeros = loop_nonzeros;
 
   std::vector<std::vector<double>> results;
   if (options_.collect_distributions) results.reserve(times.size());
 
-  std::vector<double> current = initial;  // pi(t_k)
-  next_.assign(initial.size(), 0.0);
-  accum_.assign(initial.size(), 0.0);
+  std::vector<double> current;  // pi(t_k), in loop space
+  if (fused) {
+    current.resize(reachable.size());
+    for (std::size_t i = 0; i < reachable.size(); ++i) {
+      current[i] = initial[reachable[i]];
+    }
+    full_point_.assign(initial.size(), 0.0);
+  } else {
+    current = initial;
+  }
+  next_.assign(current.size(), 0.0);
+  accum_.assign(current.size(), 0.0);
+  shard_deltas_.assign(shard_count, 0.0);
   double current_time = 0.0;
+
+  // Expands the compacted loop vector into full_point_ for results and
+  // callbacks; pass-through in baseline mode.
+  const auto emit_view =
+      [&](const std::vector<double>& point) -> const std::vector<double>& {
+    if (!fused) return point;
+    for (std::size_t i = 0; i < reachable.size(); ++i) {
+      full_point_[reachable[i]] = point[i];
+    }
+    return full_point_;
+  };
 
   for (std::size_t idx = 0; idx < times.size(); ++idx) {
     const double dt = times[idx] - current_time;
     if (dt > 0.0) {
       const double lambda = rate * dt;
-      const markov::PoissonWindow window =
-          markov::fox_glynn(lambda, options_.epsilon);
+      const markov::PoissonWindow& window =
+          plan_.window(lambda, options_.epsilon);
       linalg::fill(accum_, 0.0);
       power_ = current;
       if (window.left == 0) {
         linalg::axpy(window.weight(0), power_, accum_);
       }
+      std::uint64_t calm_steps = 0;  // consecutive steps inside the budget
       for (std::uint64_t n = 1; n <= window.right; ++n) {
-        if (use_pool) {
-          pool_->parallel_for(
-              shard_count, [&](std::size_t shard, std::size_t /*lane*/) {
-                pt.multiply_range(power_, next_, ranges[shard],
-                                  ranges[shard + 1]);
-              });
+        const double weight = n >= window.left ? window.weight(n) : 0.0;
+        double delta = 0.0;
+        if (fused) {
+          const auto fused_range = [&](std::size_t begin, std::size_t end) {
+            return plan ? plan->multiply_fused_range(power_, next_, accum_,
+                                                     weight, begin, end)
+                        : pt.multiply_fused_range(power_, next_, accum_,
+                                                  weight, begin, end);
+          };
+          if (use_pool) {
+            pool_->parallel_for(
+                shard_count, [&](std::size_t shard, std::size_t /*lane*/) {
+                  shard_deltas_[shard] =
+                      fused_range(ranges[shard], ranges[shard + 1]);
+                });
+            for (const double shard_delta : shard_deltas_) {
+              delta = std::max(delta, shard_delta);
+            }
+          } else {
+            delta = fused_range(0, loop_rows);
+          }
+          power_.swap(next_);
         } else {
-          pt.multiply_range(power_, next_, 0, pt.rows());
+          if (use_pool) {
+            pool_->parallel_for(
+                shard_count, [&](std::size_t shard, std::size_t /*lane*/) {
+                  pt.multiply_range(power_, next_, ranges[shard],
+                                    ranges[shard + 1]);
+                });
+          } else {
+            pt.multiply_range(power_, next_, 0, loop_rows);
+          }
+          power_.swap(next_);
+          if (weight != 0.0) {
+            linalg::axpy(weight, power_, accum_);
+          }
         }
-        power_.swap(next_);
         ++stats_.iterations;
-        if (n >= window.left) {
-          linalg::axpy(window.weight(n), power_, accum_);
+        // Steady-state short circuit -- keep in lockstep with
+        // markov::TransientSolver::solve (the serial/parallel bitwise and
+        // iteration-equality tests fail on any divergence): budgeted
+        // shrinking-steps heuristic with a two-consecutive-steps guard.
+        // The decision input (max of per-shard maxima) is
+        // partition-independent, so it fires identically at every thread
+        // count.
+        if (detect && n < window.right &&
+            static_cast<double>(window.right - n) * delta <= threshold) {
+          if (++calm_steps >= 2) {
+            double residual = 0.0;
+            for (std::uint64_t m = n + 1; m <= window.right; ++m) {
+              residual += window.weight(m);
+            }
+            if (residual > 0.0) {
+              linalg::axpy(residual, power_, accum_);
+            }
+            stats_.iterations_saved += window.right - n;
+            ++stats_.steady_state_hits;
+            break;
+          }
+        } else {
+          calm_steps = 0;
         }
       }
       current.swap(accum_);
@@ -89,9 +195,14 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
       }
       current_time = times[idx];
     }
-    if (options_.collect_distributions) results.push_back(current);
-    if (on_point) on_point(idx, times[idx], current);
+    if (options_.collect_distributions || on_point) {
+      const std::vector<double>& point = emit_view(current);
+      if (options_.collect_distributions) results.push_back(point);
+      if (on_point) on_point(idx, times[idx], point);
+    }
   }
+  stats_.windows_computed = plan_.windows_computed() - windows_computed_before;
+  stats_.windows_reused = plan_.windows_reused() - windows_reused_before;
   return results;
 }
 

@@ -11,9 +11,17 @@
 // and claimed dynamically from a common::ThreadPool.
 //
 // Because every out[j] is summed in the fixed storage order of its P^T
-// row, the result is bitwise identical for every thread count and shard
-// partition -- "--threads 8" reproduces "--threads 1" exactly, which the
-// determinism tests in tests/test_engine_parallel.cpp pin down.
+// row (four fixed-interleave partial sums in the fused kernel), the result
+// is bitwise identical for every thread count and shard partition --
+// "--threads 8" reproduces "--threads 1" exactly, which the determinism
+// tests in tests/test_engine_parallel.cpp pin down.
+//
+// The fused kernel additionally folds the Poisson-weighted accumulation
+// and the steady-state delta into each shard's pass
+// (CsrMatrix::multiply_fused_range); per-shard deltas reduce by max --
+// order independent -- so steady-state early termination decides
+// identically at every thread count.  Fox-Glynn windows are memoised in a
+// markov::UniformizationPlan shared across increments and solves.
 #pragma once
 
 #include <memory>
@@ -21,6 +29,7 @@
 #include "kibamrm/common/thread_pool.hpp"
 #include "kibamrm/engine/transient_backend.hpp"
 #include "kibamrm/linalg/csr_matrix.hpp"
+#include "kibamrm/markov/fox_glynn.hpp"
 
 namespace kibamrm::engine {
 
@@ -50,6 +59,15 @@ class ParallelUniformizationBackend final : public TransientBackend {
   std::vector<double> power_;
   std::vector<double> next_;
   std::vector<double> accum_;
+  // Full-dimension buffer results and callbacks are expanded into when the
+  // fused loop runs in the compacted reachable space.
+  std::vector<double> full_point_;
+  // Per-shard sup-norm deltas from the fused kernel; reduced by max after
+  // each product (max is order-independent, so the reduction preserves the
+  // bitwise-deterministic guarantee).
+  std::vector<double> shard_deltas_;
+  // Fox-Glynn windows memoised across increments and solve() calls.
+  markov::UniformizationPlan plan_;
 };
 
 }  // namespace kibamrm::engine

@@ -36,7 +36,9 @@ std::vector<ScenarioResult> ScenarioBatch::solve_all(
       .threads = options_.engine_threads,
       // Batches stream Pr{empty} through the callback; the distributions
       // themselves are never materialised.
-      .collect_distributions = false};
+      .collect_distributions = false,
+      .fused_kernels = options_.fused_kernels,
+      .steady_state_detection = options_.steady_state_detection};
 
   std::vector<ScenarioResult> results(scenarios.size());
   std::vector<LaneScratch> lanes(pool_.thread_count());
@@ -67,6 +69,16 @@ std::vector<ScenarioResult> ScenarioBatch::solve_all(
               scratch.backend->last_stats().iterations;
           result.stats.uniformization_rate =
               scratch.backend->last_stats().uniformization_rate;
+          result.stats.iterations_saved =
+              scratch.backend->last_stats().iterations_saved;
+          result.stats.windows_computed =
+              scratch.backend->last_stats().windows_computed;
+          result.stats.windows_reused =
+              scratch.backend->last_stats().windows_reused;
+          result.stats.active_states =
+              scratch.backend->last_stats().active_states;
+          result.stats.active_nonzeros =
+              scratch.backend->last_stats().active_nonzeros;
         } catch (const UnsupportedChainError& error) {
           result.skipped = true;
           result.skip_reason = error.what();
@@ -86,6 +98,7 @@ std::vector<ScenarioResult> ScenarioBatch::solve_all(
     if (result.skipped) ++stats_.skipped;
     stats_.solve_seconds_total += result.wall_seconds;
     stats_.iterations_total += result.stats.uniformization_iterations;
+    stats_.iterations_saved_total += result.stats.iterations_saved;
   }
   return results;
 }

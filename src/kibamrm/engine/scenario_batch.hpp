@@ -66,6 +66,9 @@ struct BatchStats {
   /// to wall_seconds is the achieved scenario-level parallelism).
   double solve_seconds_total = 0.0;
   std::uint64_t iterations_total = 0;
+  /// Poisson terms skipped by steady-state early termination, summed over
+  /// the batch.
+  std::uint64_t iterations_saved_total = 0;
 };
 
 struct ScenarioBatchOptions {
@@ -81,6 +84,10 @@ struct ScenarioBatchOptions {
   /// at 1 by default so batch x engine parallelism does not oversubscribe
   /// -- raise it only for batches of few, huge scenarios.
   std::size_t engine_threads = 1;
+  /// Forwarded to the backend: fused spmv+accumulate kernels and
+  /// steady-state early termination (uniformisation engines).
+  bool fused_kernels = true;
+  bool steady_state_detection = true;
 };
 
 class ScenarioBatch {

@@ -71,6 +71,16 @@ struct BackendOptions {
   /// through the callback -- curve consumers on million-state chains avoid
   /// materialising time_points * states doubles they never read.
   bool collect_distributions = true;
+  /// Fused spmv+accumulate kernels (uniformisation engines): one finishing
+  /// sweep per iteration instead of a separate axpy, with the steady-state
+  /// delta as a by-product.  False keeps the pre-fusion loop as the
+  /// measured baseline.  Other backends ignore it.
+  bool fused_kernels = true;
+  /// Steady-state / absorption early termination inside the Poisson window
+  /// (uniformisation engines; requires fused_kernels).  The detection
+  /// error is charged against `epsilon`, so accuracy guarantees keep
+  /// their order.  Other backends ignore it.
+  bool steady_state_detection = true;
 };
 
 /// Cost counters, populated by every backend after each solve().
@@ -84,6 +94,23 @@ struct BackendStats {
   std::uint64_t rejected_steps = 0;
   /// Uniformisation backend: the rate actually used; 0 elsewhere.
   double uniformization_rate = 0.0;
+  /// Uniformisation engines: Poisson terms short-circuited by steady-state
+  /// detection (iterations + iterations_saved == full window term count)
+  /// and increments on which detection fired; 0 elsewhere.
+  std::uint64_t iterations_saved = 0;
+  std::uint64_t steady_state_hits = 0;
+  /// Uniformisation engines: Fox-Glynn windows computed vs served from the
+  /// plan cache during the last solve; 0 elsewhere.
+  std::uint64_t windows_computed = 0;
+  std::uint64_t windows_reused = 0;
+  /// Uniformisation engines: states inside the reachable closure of the
+  /// initial distribution (the dimension the fused loop iterates); equals
+  /// the full state count without compaction, 0 for other backends.
+  std::uint64_t active_states = 0;
+  /// Uniformisation engines: stored entries of the matrix the loop
+  /// actually iterates (compacted transpose when fused, full uniformised
+  /// P otherwise); 0 for other backends.
+  std::uint64_t active_nonzeros = 0;
 };
 
 /// Called with (index, time, distribution) as soon as each requested time

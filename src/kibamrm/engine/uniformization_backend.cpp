@@ -15,6 +15,8 @@ std::vector<std::vector<double>> UniformizationBackend::solve(
   transient.uniformization_rate = options_.uniformization_rate;
   transient.renormalize = options_.renormalize;
   transient.collect_results = options_.collect_distributions;
+  transient.fused_kernels = options_.fused_kernels;
+  transient.steady_state_detection = options_.steady_state_detection;
   markov::TransientSolver solver(chain, transient);
   auto results = solver.solve(initial, times, on_point);
 
@@ -22,6 +24,12 @@ std::vector<std::vector<double>> UniformizationBackend::solve(
   stats_.iterations = solver.last_stats().iterations;
   stats_.time_points = solver.last_stats().time_points;
   stats_.uniformization_rate = solver.last_stats().uniformization_rate;
+  stats_.iterations_saved = solver.last_stats().iterations_saved;
+  stats_.steady_state_hits = solver.last_stats().steady_state_hits;
+  stats_.windows_computed = solver.last_stats().windows_computed;
+  stats_.windows_reused = solver.last_stats().windows_reused;
+  stats_.active_states = solver.last_stats().active_states;
+  stats_.active_nonzeros = solver.last_stats().active_nonzeros;
   return results;
 }
 

@@ -158,6 +158,112 @@ void CsrMatrix::left_multiply_partitioned(
   }
 }
 
+double CsrMatrix::left_multiply_partitioned_fused(
+    const std::vector<double>& pi, std::vector<double>& out,
+    std::span<const std::uint32_t> active,
+    std::span<const std::uint32_t> identity, double weight,
+    std::vector<double>& accum) const {
+  KIBAMRM_REQUIRE(rows_ == cols_,
+                  "left_multiply_partitioned_fused: matrix must be square");
+  KIBAMRM_REQUIRE(pi.size() == rows_,
+                  "left_multiply_partitioned_fused: dimension mismatch");
+  KIBAMRM_REQUIRE(accum.size() == cols_,
+                  "left_multiply_partitioned_fused: accumulator mismatch");
+  KIBAMRM_REQUIRE(active.size() + identity.size() == rows_,
+                  "left_multiply_partitioned_fused: partition does not cover "
+                  "all rows");
+  out.assign(cols_, 0.0);
+  for (const std::uint32_t row : active) {
+    const double p = pi[row];
+    if (p == 0.0) continue;  // transient vectors are mostly sparse early on
+    for (std::uint32_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      out[col_idx_[k]] += p * values_[k];
+    }
+  }
+  for (const std::uint32_t row : identity) {
+    out[row] += pi[row];
+  }
+  // Finishing sweep: the scatter cannot fold per-entry work into itself
+  // (entries are only final once every row has scattered), but the
+  // accumulate and the step norm share one pass here instead of two.
+  double delta = 0.0;
+  if (weight != 0.0) {
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double v = out[i];
+      accum[i] += weight * v;
+      delta = std::max(delta, std::abs(v - pi[i]));
+    }
+  } else {
+    for (std::size_t i = 0; i < cols_; ++i) {
+      delta = std::max(delta, std::abs(out[i] - pi[i]));
+    }
+  }
+  return delta;
+}
+
+double CsrMatrix::multiply_fused_range(const std::vector<double>& x,
+                                       std::vector<double>& out,
+                                       std::vector<double>& accum,
+                                       double weight, std::size_t row_begin,
+                                       std::size_t row_end) const {
+  KIBAMRM_REQUIRE(rows_ == cols_,
+                  "multiply_fused_range: matrix must be square");
+  KIBAMRM_REQUIRE(x.size() == cols_, "multiply_fused_range: dimension "
+                                     "mismatch");
+  KIBAMRM_REQUIRE(out.size() == rows_ && accum.size() == rows_,
+                  "multiply_fused_range: outputs not pre-sized to rows()");
+  KIBAMRM_REQUIRE(row_begin <= row_end && row_end <= rows_,
+                  "multiply_fused_range: invalid row range");
+  // Generator rows of the expanded battery chains average ~3 stored
+  // entries, so the row loop -- not the dot product -- is the hot path.
+  // Dispatching on the row length removes the inner-loop control overhead
+  // for the short rows that dominate; every case evaluates in one fixed
+  // order, so the value does not depend on the shard partition.
+  double delta = 0.0;
+  for (std::size_t row = row_begin; row < row_end; ++row) {
+    const std::uint32_t b = row_ptr_[row];
+    const std::uint32_t e = row_ptr_[row + 1];
+    double v;
+    switch (e - b) {
+      case 0:
+        v = 0.0;
+        break;
+      case 1:
+        v = values_[b] * x[col_idx_[b]];
+        break;
+      case 2:
+        v = values_[b] * x[col_idx_[b]] + values_[b + 1] * x[col_idx_[b + 1]];
+        break;
+      case 3:
+        v = values_[b] * x[col_idx_[b]] +
+            values_[b + 1] * x[col_idx_[b + 1]] +
+            values_[b + 2] * x[col_idx_[b + 2]];
+        break;
+      case 4:
+        v = (values_[b] * x[col_idx_[b]] +
+             values_[b + 1] * x[col_idx_[b + 1]]) +
+            (values_[b + 2] * x[col_idx_[b + 2]] +
+             values_[b + 3] * x[col_idx_[b + 3]]);
+        break;
+      default: {
+        double s0 = 0.0;
+        double s1 = 0.0;
+        std::uint32_t k = b;
+        for (; k + 2 <= e; k += 2) {
+          s0 += values_[k] * x[col_idx_[k]];
+          s1 += values_[k + 1] * x[col_idx_[k + 1]];
+        }
+        if (k < e) s0 += values_[k] * x[col_idx_[k]];
+        v = s0 + s1;
+      }
+    }
+    out[row] = v;
+    if (weight != 0.0) accum[row] += weight * v;
+    delta = std::max(delta, std::abs(v - x[row]));
+  }
+  return delta;
+}
+
 std::vector<std::uint32_t> CsrMatrix::identity_rows() const {
   std::vector<std::uint32_t> rows;
   if (rows_ != cols_) return rows;
@@ -242,6 +348,66 @@ CsrMatrix CsrMatrix::transposed() const {
   for (std::size_t row = 0; row < rows_; ++row) {
     for (std::uint32_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
       builder.add(col_idx_[k], row, values_[k]);
+    }
+  }
+  return builder.build();
+}
+
+std::vector<std::uint32_t> CsrMatrix::reachable_rows(
+    std::span<const std::uint32_t> seeds) const {
+  KIBAMRM_REQUIRE(rows_ == cols_, "reachable_rows: matrix must be square");
+  std::vector<std::uint8_t> seen(rows_, 0);
+  std::vector<std::uint32_t> frontier;  // doubles as the visited list
+  frontier.reserve(seeds.size());
+  for (const std::uint32_t seed : seeds) {
+    KIBAMRM_REQUIRE(seed < rows_, "reachable_rows: seed out of range");
+    if (!seen[seed]) {
+      seen[seed] = 1;
+      frontier.push_back(seed);
+    }
+  }
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const std::uint32_t row = frontier[head];
+    for (std::uint32_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      const std::uint32_t col = col_idx_[k];
+      if (!seen[col]) {
+        seen[col] = 1;
+        frontier.push_back(col);
+      }
+    }
+  }
+  std::sort(frontier.begin(), frontier.end());
+  return frontier;
+}
+
+CsrMatrix CsrMatrix::transposed_submatrix(
+    std::span<const std::uint32_t> keep) const {
+  KIBAMRM_REQUIRE(rows_ == cols_,
+                  "transposed_submatrix: matrix must be square");
+  KIBAMRM_REQUIRE(!keep.empty(), "transposed_submatrix: empty row set");
+  constexpr std::uint32_t kDropped = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> compact(rows_, kDropped);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    KIBAMRM_REQUIRE(keep[i] < rows_ && (i == 0 || keep[i] > keep[i - 1]),
+                    "transposed_submatrix: keep must be sorted, unique and "
+                    "in range");
+    compact[keep[i]] = static_cast<std::uint32_t>(i);
+  }
+  std::size_t surviving = 0;
+  for (const std::uint32_t row : keep) {
+    for (std::uint32_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      if (compact[col_idx_[k]] != kDropped) ++surviving;
+    }
+  }
+  CooBuilder builder(keep.size(), keep.size());
+  builder.reserve(surviving);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    const std::uint32_t row = keep[i];
+    for (std::uint32_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+      const std::uint32_t col = compact[col_idx_[k]];
+      if (col != kDropped) {
+        builder.add(col, i, values_[k]);
+      }
     }
   }
   return builder.build();

@@ -104,6 +104,44 @@ class CsrMatrix {
                                  std::span<const std::uint32_t> active,
                                  std::span<const std::uint32_t> identity) const;
 
+  /// Fused uniformisation step: left_multiply_partitioned() plus, in the
+  /// same finishing sweep over `out`, the Poisson-weighted accumulation
+  /// accum += weight * out (skipped for weight == 0, i.e. terms left of
+  /// the Fox-Glynn window) and the sup-norm step delta
+  ///     max_i |out[i] - pi[i]|  ==  ||pi P^n - pi P^(n-1)||_inf,
+  /// which is the steady-state detection signal.  Replaces the separate
+  /// axpy and norm passes of the unfused loop -- one full read of `out`
+  /// and one of `pi` per iteration instead of three.  Square matrices
+  /// only; returns the delta.
+  ///
+  /// This is the scatter-flavoured fused variant; the production solvers
+  /// use the gather-side multiply_fused_range / FusedGatherPlan (faster
+  /// on the paper's chains), and this kernel is kept for A/B measurement
+  /// and for workloads where the zero-row skip of the scatter wins.
+  double left_multiply_partitioned_fused(
+      const std::vector<double>& pi, std::vector<double>& out,
+      std::span<const std::uint32_t> active,
+      std::span<const std::uint32_t> identity, double weight,
+      std::vector<double>& accum) const;
+
+  /// Fused gather-side uniformisation step on a *transposed* transition
+  /// matrix: for rows in [row_begin, row_end) computes
+  ///     out[row]   = dot(this row, x)        (== (x * P)[row]),
+  ///     accum[row] += weight * out[row]      (skipped for weight == 0),
+  /// and returns the range-local sup norm max |out[row] - x[row]|.  The
+  /// row dot product dispatches on the row length (expanded battery chains
+  /// average ~3 entries per row, so the row loop dominates, not the dot)
+  /// with a fixed evaluation order per case, so results are bitwise
+  /// independent of how rows are sharded -- the parallel backend's
+  /// determinism guarantee carries over.  The per-length order is the
+  /// canonical one mirrored bitwise by linalg::FusedGatherPlan.  Square
+  /// matrices only; disjoint ranges touch disjoint out/accum entries.
+  double multiply_fused_range(const std::vector<double>& x,
+                              std::vector<double>& out,
+                              std::vector<double>& accum, double weight,
+                              std::size_t row_begin,
+                              std::size_t row_end) const;
+
   /// Rows whose only stored entry is a unit diagonal -- absorbing states of
   /// a uniformised transition matrix P = I + Q/q.
   std::vector<std::uint32_t> identity_rows() const;
@@ -135,6 +173,23 @@ class CsrMatrix {
 
   /// Transposed copy (used to express backward equations and in tests).
   CsrMatrix transposed() const;
+
+  /// Rows reachable from `seeds` following stored entries row -> column
+  /// (the sparsity pattern as a directed graph).  Returns the sorted
+  /// closure, seeds included.  Square matrices only.  For a transition
+  /// matrix and the support of an initial distribution this is every
+  /// state the chain can ever occupy -- the paper's expanded battery
+  /// chains reach only about half their state space from the standard
+  /// full-charge start, and the transient solvers exploit that.
+  std::vector<std::uint32_t> reachable_rows(
+      std::span<const std::uint32_t> seeds) const;
+
+  /// Transpose of the submatrix induced by `keep` x `keep`, with indices
+  /// compacted to 0..keep.size()-1 in order (`keep` must be sorted,
+  /// unique and in range).  Entries keep their relative order, so kernels
+  /// over the compacted matrix sum in the same order as over the full
+  /// transpose restricted to `keep`.  Square matrices only.
+  CsrMatrix transposed_submatrix(std::span<const std::uint32_t> keep) const;
 
  private:
   friend class CooBuilder;

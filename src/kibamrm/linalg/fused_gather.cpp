@@ -1,0 +1,126 @@
+#include "kibamrm/linalg/fused_gather.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "kibamrm/common/error.hpp"
+
+namespace kibamrm::linalg {
+
+std::optional<FusedGatherPlan> FusedGatherPlan::build(
+    const CsrMatrix& matrix) {
+  if (matrix.rows() != matrix.cols()) return std::nullopt;
+  const auto row_ptr = matrix.row_pointers();
+  const auto col_idx = matrix.column_indices();
+  const auto values = matrix.values();
+
+  FusedGatherPlan plan;
+  plan.lengths_.resize(matrix.rows());
+  plan.entry_start_.assign(row_ptr.begin(), row_ptr.end());
+  plan.offsets_.resize(matrix.nonzeros());
+  plan.value_ids_.resize(matrix.nonzeros());
+  std::unordered_map<double, std::uint16_t> ids;
+  ids.reserve(1024);
+
+  for (std::size_t row = 0; row < matrix.rows(); ++row) {
+    const std::uint32_t length = row_ptr[row + 1] - row_ptr[row];
+    if (length > std::numeric_limits<std::uint8_t>::max()) return std::nullopt;
+    plan.lengths_[row] = static_cast<std::uint8_t>(length);
+    for (std::uint32_t k = row_ptr[row]; k < row_ptr[row + 1]; ++k) {
+      const auto offset = static_cast<std::int64_t>(col_idx[k]) -
+                          static_cast<std::int64_t>(row);
+      if (offset < std::numeric_limits<std::int16_t>::min() ||
+          offset > std::numeric_limits<std::int16_t>::max()) {
+        return std::nullopt;
+      }
+      plan.offsets_[k] = static_cast<std::int16_t>(offset);
+      const auto [it, inserted] = ids.try_emplace(
+          values[k], static_cast<std::uint16_t>(plan.dictionary_.size()));
+      if (inserted) {
+        if (plan.dictionary_.size() >
+            std::numeric_limits<std::uint16_t>::max()) {
+          return std::nullopt;
+        }
+        plan.dictionary_.push_back(values[k]);
+      }
+      plan.value_ids_[k] = it->second;
+    }
+  }
+  return plan;
+}
+
+double FusedGatherPlan::multiply_fused_range(const std::vector<double>& x,
+                                             std::vector<double>& out,
+                                             std::vector<double>& accum,
+                                             double weight,
+                                             std::size_t row_begin,
+                                             std::size_t row_end) const {
+  KIBAMRM_REQUIRE(x.size() == rows() && out.size() == rows() &&
+                      accum.size() == rows(),
+                  "FusedGatherPlan: vectors not sized to rows()");
+  KIBAMRM_REQUIRE(row_begin <= row_end && row_end <= rows(),
+                  "FusedGatherPlan: invalid row range");
+  const std::uint8_t* lengths = lengths_.data();
+  const std::int16_t* offsets = offsets_.data();
+  const std::uint16_t* value_ids = value_ids_.data();
+  const double* dictionary = dictionary_.data();
+  const double* in = x.data();
+  double delta = 0.0;
+  std::size_t k = entry_start_[row_begin];
+  for (std::size_t row = row_begin; row < row_end; ++row) {
+    double v;
+    // Canonical per-length evaluation order, mirrored exactly by
+    // CsrMatrix::multiply_fused_range so the two kernels agree bitwise.
+    switch (lengths[row]) {
+      case 0:
+        v = 0.0;
+        break;
+      case 1:
+        v = dictionary[value_ids[k]] * in[row + offsets[k]];
+        k += 1;
+        break;
+      case 2:
+        v = dictionary[value_ids[k]] * in[row + offsets[k]] +
+            dictionary[value_ids[k + 1]] * in[row + offsets[k + 1]];
+        k += 2;
+        break;
+      case 3:
+        v = dictionary[value_ids[k]] * in[row + offsets[k]] +
+            dictionary[value_ids[k + 1]] * in[row + offsets[k + 1]] +
+            dictionary[value_ids[k + 2]] * in[row + offsets[k + 2]];
+        k += 3;
+        break;
+      case 4:
+        v = (dictionary[value_ids[k]] * in[row + offsets[k]] +
+             dictionary[value_ids[k + 1]] * in[row + offsets[k + 1]]) +
+            (dictionary[value_ids[k + 2]] * in[row + offsets[k + 2]] +
+             dictionary[value_ids[k + 3]] * in[row + offsets[k + 3]]);
+        k += 4;
+        break;
+      default: {
+        double s0 = 0.0;
+        double s1 = 0.0;
+        std::uint8_t j = 0;
+        const std::uint8_t length = lengths[row];
+        for (; j + 2 <= length; j += 2) {
+          s0 += dictionary[value_ids[k + j]] * in[row + offsets[k + j]];
+          s1 +=
+              dictionary[value_ids[k + j + 1]] * in[row + offsets[k + j + 1]];
+        }
+        if (j < length) {
+          s0 += dictionary[value_ids[k + j]] * in[row + offsets[k + j]];
+        }
+        v = s0 + s1;
+        k += length;
+      }
+    }
+    out[row] = v;
+    if (weight != 0.0) accum[row] += weight * v;
+    delta = std::max(delta, std::abs(v - in[row]));
+  }
+  return delta;
+}
+
+}  // namespace kibamrm::linalg

@@ -1,5 +1,6 @@
 #include "kibamrm/markov/fox_glynn.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "kibamrm/common/error.hpp"
@@ -109,6 +110,26 @@ PoissonWindow fox_glynn(double lambda, double epsilon) {
   const double inv_total = 1.0 / total;
   for (double& weight : window.weights) weight *= inv_total;
   return window;
+}
+
+UniformizationPlan::UniformizationPlan(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+const PoissonWindow& UniformizationPlan::window(double lambda,
+                                                double epsilon) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->epsilon == epsilon &&
+        std::abs(it->lambda - lambda) <=
+            1e-9 * std::max(1.0, std::abs(it->lambda))) {
+      ++reused_;
+      entries_.splice(entries_.begin(), entries_, it);  // move to MRU slot
+      return entries_.front().window;
+    }
+  }
+  ++computed_;
+  entries_.push_front({lambda, epsilon, fox_glynn(lambda, epsilon)});
+  if (entries_.size() > capacity_) entries_.pop_back();
+  return entries_.front().window;
 }
 
 }  // namespace kibamrm::markov

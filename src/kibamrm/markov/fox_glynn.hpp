@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <list>
 #include <vector>
 
 namespace kibamrm::markov {
@@ -39,6 +40,50 @@ struct PoissonWindow {
 /// degenerate window {0} with weight 1.  Throws InvalidArgument for negative
 /// lambda or epsilon outside (0, 1).
 PoissonWindow fox_glynn(double lambda, double epsilon);
+
+/// Memoised Fox-Glynn windows, keyed by (lambda, epsilon).
+///
+/// The incremental transient solvers compute one window per time increment;
+/// on the uniform time grids every curve driver uses, all increments share
+/// (up to round-off in t_{k+1} - t_k) a single lambda, so the window is
+/// worth computing exactly once per curve.  Lambdas within a relative
+/// 1e-9 of a cached entry are treated as equal -- uniform_grid() produces
+/// increments that differ only in the last few ulps, and a Poisson window
+/// is insensitive to lambda perturbations at that scale (it shifts by far
+/// less than one term).  Epsilons must match exactly.
+///
+/// Entries are kept most-recently-used first and the cache is capped, so a
+/// solver hammering one or two lambdas stays O(1) per lookup while a sweep
+/// over many horizons cannot grow the cache without bound.
+class UniformizationPlan {
+ public:
+  explicit UniformizationPlan(std::size_t capacity = 16);
+
+  /// The Fox-Glynn window for (lambda, epsilon): cached when one matches,
+  /// computed and inserted otherwise.  The reference stays valid until the
+  /// entry is evicted (at least `capacity` distinct lookups later).
+  const PoissonWindow& window(double lambda, double epsilon);
+
+  /// Lifetime counters (never reset by eviction); callers that want
+  /// per-solve numbers difference them around the solve.
+  std::uint64_t windows_computed() const { return computed_; }
+  std::uint64_t windows_reused() const { return reused_; }
+  std::size_t cached_windows() const { return entries_.size(); }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    double lambda;
+    double epsilon;
+    PoissonWindow window;
+  };
+
+  std::list<Entry> entries_;  // most recently used first
+  std::size_t capacity_;
+  std::uint64_t computed_ = 0;
+  std::uint64_t reused_ = 0;
+};
 
 /// Poisson pmf Pois(lambda; n), computed in log space (accurate for large
 /// lambda and n; used for cross-checking the window in tests).

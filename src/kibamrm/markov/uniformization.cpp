@@ -13,6 +13,7 @@ TransientSolver::TransientSolver(const Ctmc& chain, TransientOptions options)
     : chain_(chain),
       options_(options),
       p_(1, 1),
+      fused_pt_(1, 1),
       rate_(options.uniformization_rate) {
   KIBAMRM_REQUIRE(options_.epsilon > 0.0 && options_.epsilon < 1.0,
                   "transient epsilon must lie in (0,1)");
@@ -24,9 +25,15 @@ TransientSolver::TransientSolver(const Ctmc& chain, TransientOptions options)
                   "uniformization rate below maximal exit rate");
   p_ = chain_.generator().uniformized(rate_);
 
+  if (options_.fused_kernels) {
+    // The compacted gather structures depend on the initial distribution
+    // and are built lazily by prepare_fused() on the first solve.
+    return;
+  }
+
   // Partition rows once: absorbing states uniformise to exact unit-diagonal
-  // rows, which the iteration kernel handles without touching the CSR
-  // structure (see CsrMatrix::left_multiply_partitioned).
+  // rows, which the baseline scatter kernel handles without touching the
+  // CSR structure (see CsrMatrix::left_multiply_partitioned).
   identity_rows_ = p_.identity_rows();
   active_rows_.reserve(p_.rows() - identity_rows_.size());
   std::size_t next_identity = 0;
@@ -37,6 +44,34 @@ TransientSolver::TransientSolver(const Ctmc& chain, TransientOptions options)
     } else {
       active_rows_.push_back(static_cast<std::uint32_t>(row));
     }
+  }
+}
+
+void TransientSolver::prepare_fused(const std::vector<double>& initial) {
+  // The closure of a subset is a subset of the closure, so the cached
+  // machinery stays valid whenever the new support is inside it -- the
+  // common case for solvers reused across initials of the same chain.
+  bool covered = !reachable_.empty();
+  std::vector<std::uint32_t> seeds;
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    if (initial[i] != 0.0) {
+      seeds.push_back(static_cast<std::uint32_t>(i));
+      if (covered && !reachable_mask_[i]) covered = false;
+    }
+  }
+  if (covered) return;
+  // Grow monotonically so earlier initials stay covered too.
+  seeds.insert(seeds.end(), reachable_.begin(), reachable_.end());
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  reachable_ = p_.reachable_rows(seeds);
+  reachable_mask_.assign(p_.rows(), 0);
+  for (const std::uint32_t row : reachable_) reachable_mask_[row] = 1;
+  fused_pt_ = p_.transposed_submatrix(reachable_);
+  fused_nonzeros_ = fused_pt_.nonzeros();
+  gather_plan_ = linalg::FusedGatherPlan::build(fused_pt_);
+  if (gather_plan_) {
+    fused_pt_ = linalg::CsrMatrix(1, 1);  // packed layout replaces the CSR
   }
 }
 
@@ -56,35 +91,118 @@ std::vector<std::vector<double>> TransientSolver::solve(
   stats_ = TransientStats{};
   stats_.uniformization_rate = rate_;
   stats_.time_points = times.size();
+  const std::uint64_t windows_computed_before = plan_.windows_computed();
+  const std::uint64_t windows_reused_before = plan_.windows_reused();
+
+  const bool fused = options_.fused_kernels;
+  if (fused) prepare_fused(initial);
+  const bool detect = options_.steady_state_detection && fused;
+  const double threshold = options_.steady_state_threshold > 0.0
+                               ? options_.steady_state_threshold
+                               : options_.epsilon / 2.0;
 
   std::vector<std::vector<double>> results;
   results.reserve(times.size());
 
+  // The fused loop runs entirely in the compacted reachable space; the
+  // baseline loop in the full space.
+  stats_.active_states = fused ? reachable_.size() : initial.size();
+  stats_.active_nonzeros = fused ? fused_nonzeros_ : p_.nonzeros();
+
   // power_ holds pi(t_k) P^n during an increment; it is (re)filled from
   // `current` at each increment, so only the other scratch needs sizing.
-  std::vector<double> current = initial;   // pi(t_k)
-  next_.assign(initial.size(), 0.0);
-  accum_.assign(initial.size(), 0.0);
+  std::vector<double> current;  // pi(t_k), in loop space
+  if (fused) {
+    current.resize(reachable_.size());
+    for (std::size_t i = 0; i < reachable_.size(); ++i) {
+      current[i] = initial[reachable_[i]];
+    }
+    // Emission buffer: unreachable entries are zero forever, so only the
+    // compacted entries are ever rewritten.
+    full_point_.assign(initial.size(), 0.0);
+  } else {
+    current = initial;
+  }
+  next_.assign(current.size(), 0.0);
+  accum_.assign(current.size(), 0.0);
   double current_time = 0.0;
+
+  // Expands the compacted loop vector into full_point_ for results and
+  // callbacks; pass-through in baseline mode.
+  const auto emit_view =
+      [&](const std::vector<double>& point) -> const std::vector<double>& {
+    if (!fused) return point;
+    for (std::size_t i = 0; i < reachable_.size(); ++i) {
+      full_point_[reachable_[i]] = point[i];
+    }
+    return full_point_;
+  };
 
   for (std::size_t idx = 0; idx < times.size(); ++idx) {
     const double dt = times[idx] - current_time;
     if (dt > 0.0) {
       const double lambda = rate_ * dt;
-      const PoissonWindow window = fox_glynn(lambda, options_.epsilon);
+      const PoissonWindow& window = plan_.window(lambda, options_.epsilon);
       linalg::fill(accum_, 0.0);
       power_ = current;
       // n = 0 term.
       if (window.left == 0) {
         linalg::axpy(window.weight(0), power_, accum_);
       }
+      std::uint64_t calm_steps = 0;  // consecutive steps inside the budget
       for (std::uint64_t n = 1; n <= window.right; ++n) {
-        p_.left_multiply_partitioned(power_, next_, active_rows_,
-                                     identity_rows_);
-        power_.swap(next_);
+        const double weight = n >= window.left ? window.weight(n) : 0.0;
+        double delta = 0.0;
+        if (fused) {
+          delta = gather_plan_
+                      ? gather_plan_->multiply_fused_range(
+                            power_, next_, accum_, weight, 0,
+                            gather_plan_->rows())
+                      : fused_pt_.multiply_fused_range(power_, next_, accum_,
+                                                       weight, 0,
+                                                       fused_pt_.rows());
+          power_.swap(next_);
+        } else {
+          p_.left_multiply_partitioned(power_, next_, active_rows_,
+                                       identity_rows_);
+          power_.swap(next_);
+          if (weight != 0.0) {
+            linalg::axpy(weight, power_, accum_);
+          }
+        }
         ++stats_.iterations;
-        if (n >= window.left) {
-          linalg::axpy(window.weight(n), power_, accum_);
+        // Steady-state / absorption short circuit: once the per-step
+        // change can no longer move the result beyond the budget --
+        // (right - n) * delta <= threshold, i.e. a triangle inequality
+        // over the remaining steps assuming the per-step changes keep
+        // shrinking -- the whole residual Poisson tail collapses onto the
+        // converged vector.  The non-amplification assumption is the
+        // classic steady-state-detection heuristic (a uniformised P is
+        // row-stochastic, which does not contract the sup norm in
+        // general); two consecutive in-budget steps guard against a
+        // transient lull, the bound is strictly more conservative than
+        // the usual absolute cut delta <= eps/8 (which measurably
+        // overruns the 10 eps agreement budget on the Fig. 8 chains),
+        // and the detection-on/off agreement tests pin the accuracy.
+        // Keep this block in lockstep with the parallel backend
+        // (engine/parallel_backend.cpp) -- the serial/parallel bitwise
+        // and iteration-equality tests fail on any divergence.
+        if (detect && n < window.right &&
+            static_cast<double>(window.right - n) * delta <= threshold) {
+          if (++calm_steps >= 2) {
+            double residual = 0.0;  // remaining tail mass, summed directly
+            for (std::uint64_t m = n + 1; m <= window.right; ++m) {
+              residual += window.weight(m);
+            }
+            if (residual > 0.0) {
+              linalg::axpy(residual, power_, accum_);
+            }
+            stats_.iterations_saved += window.right - n;
+            ++stats_.steady_state_hits;
+            break;
+          }
+        } else {
+          calm_steps = 0;
         }
       }
       current.swap(accum_);
@@ -93,9 +211,14 @@ std::vector<std::vector<double>> TransientSolver::solve(
       }
       current_time = times[idx];
     }
-    if (options_.collect_results) results.push_back(current);
-    if (on_point) on_point(idx, times[idx], current);
+    if (options_.collect_results || on_point) {
+      const std::vector<double>& point = emit_view(current);
+      if (options_.collect_results) results.push_back(point);
+      if (on_point) on_point(idx, times[idx], point);
+    }
   }
+  stats_.windows_computed = plan_.windows_computed() - windows_computed_before;
+  stats_.windows_reused = plan_.windows_reused() - windows_reused_before;
   return results;
 }
 

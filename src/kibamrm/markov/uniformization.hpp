@@ -11,13 +11,24 @@
 // from pi(t_k) over the increment t_{k+1} - t_k, so a whole lifetime curve
 // costs about as many matrix-vector products as its final time point alone
 // (q * t_max plus a Fox-Glynn window per point).
+//
+// Three hot-loop optimisations stack on top (all on by default, each
+// toggleable for A/B measurement): the fused kernel folds the
+// Poisson-weighted accumulation and the steady-state delta into the spmv's
+// finishing sweep, steady-state detection short-circuits the window tail
+// once the power iteration has converged (the dominant win on long-horizon
+// absorbing chains), and Fox-Glynn windows are memoised per (lambda,
+// epsilon) so uniform time grids compute one window per curve.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "kibamrm/linalg/fused_gather.hpp"
 #include "kibamrm/markov/ctmc.hpp"
+#include "kibamrm/markov/fox_glynn.hpp"
 
 namespace kibamrm::markov {
 
@@ -34,6 +45,29 @@ struct TransientOptions {
   /// When false, solve() returns an empty vector: callers that stream
   /// points through the callback skip the time_points * states copy.
   bool collect_results = true;
+  /// Use the fused spmv+accumulate kernel (one finishing sweep per
+  /// iteration instead of a separate axpy, and the steady-state delta for
+  /// free).  False selects the pre-fusion loop, kept as the measured
+  /// baseline for the perf gates and as a cross-check.
+  bool fused_kernels = true;
+  /// Steady-state / absorption early termination: once
+  /// (window.right - n) * ||pi P^n - pi P^(n-1)||_inf <= threshold on two
+  /// consecutive steps, the rest of the window is short-circuited by
+  /// adding the entire residual tail mass times the converged vector.
+  /// This is the classic PRISM/MRMC steady-state heuristic with a
+  /// budgeted bound in place of the usual absolute cut: exact when the
+  /// per-step changes keep shrinking (they do once the chain has settled;
+  /// a row-stochastic P does not contract the sup norm in general, which
+  /// is why the consecutive-step guard and the detection-on/off agreement
+  /// tests back the bound empirically).  On long horizons of absorbing
+  /// chains (the battery-empty tail of Fig. 8) this skips most of the
+  /// window.  Requires fused_kernels (the delta is a by-product of the
+  /// fused sweep); ignored when fused_kernels is false.
+  bool steady_state_detection = true;
+  /// Detection threshold; 0 selects epsilon / 2, charging the detection
+  /// error against the same per-increment budget as the Fox-Glynn
+  /// truncation so the overall guarantee keeps its order.
+  double steady_state_threshold = 0.0;
 };
 
 /// Cost counters for complexity experiments (Sec. 5.3 / Sec. 6.1 quote
@@ -42,6 +76,26 @@ struct TransientStats {
   std::uint64_t iterations = 0;     // total DTMC steps (= matrix products)
   std::uint64_t time_points = 0;    // number of requested outputs
   double uniformization_rate = 0.0;
+  /// Poisson terms short-circuited by steady-state detection; iterations +
+  /// iterations_saved equals the full Fox-Glynn term count, independent of
+  /// whether and where detection fired.
+  std::uint64_t iterations_saved = 0;
+  /// Time increments on which detection fired.
+  std::uint64_t steady_state_hits = 0;
+  /// Fox-Glynn windows computed / served from the plan cache this solve;
+  /// a uniform time grid computes exactly one.
+  std::uint64_t windows_computed = 0;
+  std::uint64_t windows_reused = 0;
+  /// States inside the reachable closure of the initial distribution --
+  /// the dimension the fused loop actually iterates.  Equals the full
+  /// state count for the baseline loop (no compaction) and for chains
+  /// whose closure is everything.
+  std::uint64_t active_states = 0;
+  /// Stored entries of the matrix the loop actually iterates (the
+  /// compacted transpose in fused mode, the full uniformised P in
+  /// baseline mode) -- the honest per-iteration work unit for throughput
+  /// metrics.
+  std::uint64_t active_nonzeros = 0;
 };
 
 /// Computes pi(t) for each t in `times` (must be sorted ascending, >= 0).
@@ -60,24 +114,55 @@ class TransientSolver {
   const TransientStats& last_stats() const { return stats_; }
 
  private:
+  /// Rebuilds the fused-loop machinery (reachable closure, compacted
+  /// transpose, packed kernel plan) unless the cached closure already
+  /// covers the support of `initial`.
+  void prepare_fused(const std::vector<double>& initial);
+
   const Ctmc& chain_;
   TransientOptions options_;
   linalg::CsrMatrix p_;  // uniformised transition matrix
+  // Fused-loop machinery: the loop runs in the *compacted* state space of
+  // the reachable closure of the initial support (the paper's expanded
+  // battery chains reach only ~half their states from the full-charge
+  // start), gathering over the compacted transpose of P -- each output
+  // entry is one short CSR-row gather, which the fused kernel finishes
+  // with the accumulate and the steady-state delta in the same pass.
+  // Rebuilt per solve only when a new initial escapes the cached closure.
+  linalg::CsrMatrix fused_pt_;  // compacted transpose (CSR fallback kernel)
+  // Compressed kernel plan over fused_pt_ (dictionary values + int16
+  // offsets); when it builds -- it does for every expanded battery chain
+  // -- fused_pt_ is released and the loop runs on the packed layout.
+  std::optional<linalg::FusedGatherPlan> gather_plan_;
+  std::vector<std::uint32_t> reachable_;      // compact index -> full state
+  std::vector<std::uint8_t> reachable_mask_;  // full-space membership
+  std::size_t fused_nonzeros_ = 0;  // entries of the compacted matrix
   double rate_;
   TransientStats stats_;
-  // Sparsity fast path: rows of P that are exact unit diagonals (the
+  // Baseline-loop fast path: rows of P that are exact unit diagonals (the
   // absorbing j1 = 0 layer of the expanded battery chain) are skipped by
   // the scatter kernel; their mass is carried over directly.
   std::vector<std::uint32_t> identity_rows_;
   std::vector<std::uint32_t> active_rows_;
   // Scratch reused across time increments and across solve() calls: a whole
-  // lifetime curve performs zero per-increment allocations.
+  // lifetime curve performs zero per-increment allocations.  In fused mode
+  // these live in the compacted space; full_point_ is the full-dimension
+  // buffer results and callbacks are expanded into.
   std::vector<double> power_;
   std::vector<double> next_;
   std::vector<double> accum_;
+  std::vector<double> full_point_;
+  // Fox-Glynn windows memoised across increments and solve() calls --
+  // uniform time grids compute one window per curve instead of one per
+  // point.
+  UniformizationPlan plan_;
 };
 
 /// One-shot convenience: transient distribution at a single time point.
+/// Thin wrapper over TransientSolver that pays the full construction cost
+/// (uniformised matrix copy, row partition) on every call -- callers that
+/// solve the same chain at several times should construct one
+/// TransientSolver and reuse it (or pass all times to one solve()).
 std::vector<double> transient_distribution(const Ctmc& chain,
                                            const std::vector<double>& initial,
                                            double time,

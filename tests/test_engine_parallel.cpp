@@ -135,19 +135,71 @@ TEST(ParallelBackend, FullDistributionsMatchSerialBackend) {
 
 TEST(ParallelBackend, BitwiseDeterministicAcrossThreadCounts) {
   // Above the inline threshold: the shard partition differs per thread
-  // count, the arithmetic must not.
+  // count, the arithmetic must not.  This covers the fused kernel
+  // (compressed gather plan + steady-state detection), whose per-shard
+  // deltas reduce by max, so even the termination decision is
+  // partition-independent.
   const auto expanded = core::build_expanded_chain(fig8_kibam(), 50.0);
   const std::vector<double> times = {10000.0};
   auto one = make_backend("parallel", {.threads = 1});
   const auto baseline = one->solve(expanded.chain, expanded.initial, times);
-  for (const std::size_t threads : {2u, 5u}) {
+  const std::uint64_t baseline_iterations = one->last_stats().iterations;
+  for (const std::size_t threads : {2u, 5u, 8u}) {
     auto backend = make_backend("parallel", {.threads = threads});
     const auto result =
         backend->solve(expanded.chain, expanded.initial, times);
     // Bitwise equality, not a tolerance: the gather kernel's summation
     // order is independent of the shard partition.
     EXPECT_EQ(result, baseline) << "threads = " << threads;
+    EXPECT_EQ(backend->last_stats().iterations, baseline_iterations)
+        << "early termination must fire at the same step";
   }
+}
+
+TEST(ParallelBackend, DetectionOnOffAgreeOnFig8Curve) {
+  // The acceptance property of the early-termination optimisation: the
+  // full Fig. 8 lifetime curve with detection on agrees with detection
+  // off within 10 * epsilon, while actually skipping iterations.
+  // Delta = 50 is the coarsest fig8 grid whose curve saturates inside the
+  // horizon (coarser chains still carry ~1e-4 active mass at t = 20000,
+  // where detection correctly refuses to fire).
+  const auto times = core::uniform_grid(6000.0, 20000.0, 12);
+  core::MarkovianApproximation on(
+      fig8_kibam(), {.delta = 50.0, .engine = "parallel", .threads = 4});
+  core::MarkovianApproximation off(fig8_kibam(),
+                                   {.delta = 50.0,
+                                    .engine = "parallel",
+                                    .threads = 4,
+                                    .steady_state_detection = false});
+  const core::LifetimeCurve curve_on = on.solve(times);
+  const core::LifetimeCurve curve_off = off.solve(times);
+  EXPECT_LT(curve_on.max_difference(curve_off), 10.0 * 1e-10);
+  EXPECT_GT(on.last_stats().iterations_saved, 0u);
+  // Closed accounting: skipped terms + executed terms == the full window
+  // cost the detection-off run paid.
+  EXPECT_EQ(on.last_stats().uniformization_iterations +
+                on.last_stats().iterations_saved,
+            off.last_stats().uniformization_iterations);
+}
+
+TEST(ParallelBackend, FusedMatchesUnfusedPath) {
+  // The fused compacted kernel against the pre-fusion gather + axpy loop.
+  const auto expanded = core::build_expanded_chain(fig8_kibam(), 50.0);
+  const std::vector<double> times = {8000.0, 14000.0};
+  auto fused = make_backend("parallel", {.threads = 4});
+  auto unfused = make_backend(
+      "parallel",
+      {.threads = 4, .fused_kernels = false, .steady_state_detection = false});
+  const auto a = fused->solve(expanded.chain, expanded.initial, times);
+  const auto b = unfused->solve(expanded.chain, expanded.initial, times);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    EXPECT_LT(linalg::linf_distance(a[k], b[k]), 1e-10) << "t=" << times[k];
+  }
+  // The fused loop iterates only the reachable closure.
+  EXPECT_GT(fused->last_stats().active_states, 0u);
+  EXPECT_LT(fused->last_stats().active_states, expanded.initial.size());
+  EXPECT_EQ(unfused->last_stats().active_states, expanded.initial.size());
 }
 
 TEST(ScenarioBatch, MatchesSequentialSolvesAndThreadCountInvariant) {

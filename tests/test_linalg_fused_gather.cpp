@@ -1,0 +1,258 @@
+// Tests for the fused uniformisation-step kernels: the CSR fused gather
+// and scatter variants, the compressed FusedGatherPlan (bitwise parity
+// with the CSR gather), and the reachability/compaction helpers they ride
+// on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/csr_matrix.hpp"
+#include "kibamrm/linalg/fused_gather.hpp"
+#include "kibamrm/linalg/vector_ops.hpp"
+
+namespace kibamrm::linalg {
+namespace {
+
+// Banded row-stochastic matrix with mixed row lengths (1 to 5 stored
+// entries), resembling a uniformised battery chain.
+CsrMatrix banded(std::size_t n) {
+  CooBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    if (i > 0) {
+      builder.add(i, i - 1, 0.3);
+      off += 0.3;
+    }
+    if (i + 1 < n) {
+      builder.add(i, i + 1, 0.2);
+      off += 0.2;
+    }
+    if (i % 3 == 0 && i + 2 < n) {
+      builder.add(i, i + 2, 0.1);
+      off += 0.1;
+    }
+    if (i % 5 == 0 && i >= 2) {
+      builder.add(i, i - 2, 0.05);
+      off += 0.05;
+    }
+    builder.add(i, i, 1.0 - off);
+  }
+  return builder.build();
+}
+
+std::vector<double> random_vector(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = uniform(rng);
+  return v;
+}
+
+TEST(CsrFusedRange, MatchesMultiplyPlusAxpyPlusDelta) {
+  const CsrMatrix pt = banded(257).transposed();
+  const std::vector<double> x = random_vector(257, 1);
+  std::vector<double> expected(257, 0.0);
+  pt.multiply(x, expected);
+  std::vector<double> expected_accum(257, 0.25);
+  axpy(0.125, expected, expected_accum);
+  const double expected_delta = linf_distance(expected, x);
+
+  std::vector<double> out(257, 0.0);
+  std::vector<double> accum(257, 0.25);
+  const double delta = pt.multiply_fused_range(x, out, accum, 0.125, 0, 257);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], expected[i], 1e-15) << "row " << i;
+    EXPECT_NEAR(accum[i], expected_accum[i], 1e-15) << "row " << i;
+  }
+  EXPECT_NEAR(delta, expected_delta, 1e-15);
+}
+
+TEST(CsrFusedRange, ZeroWeightSkipsAccumulator) {
+  const CsrMatrix pt = banded(64).transposed();
+  const std::vector<double> x = random_vector(64, 2);
+  std::vector<double> out(64, 0.0);
+  std::vector<double> accum(64, 0.75);
+  pt.multiply_fused_range(x, out, accum, 0.0, 0, 64);
+  for (const double a : accum) EXPECT_EQ(a, 0.75);
+}
+
+TEST(CsrFusedRange, DisjointRangesComposeBitwise) {
+  const CsrMatrix pt = banded(101).transposed();
+  const std::vector<double> x = random_vector(101, 3);
+  std::vector<double> out_full(101, 0.0);
+  std::vector<double> accum_full(101, 0.0);
+  const double delta_full =
+      pt.multiply_fused_range(x, out_full, accum_full, 0.5, 0, 101);
+
+  std::vector<double> out(101, 0.0);
+  std::vector<double> accum(101, 0.0);
+  double delta = 0.0;
+  for (const auto& [begin, end] :
+       {std::pair<std::size_t, std::size_t>{0, 37},
+        std::pair<std::size_t, std::size_t>{37, 70},
+        std::pair<std::size_t, std::size_t>{70, 101}}) {
+    delta = std::max(delta,
+                     pt.multiply_fused_range(x, out, accum, 0.5, begin, end));
+  }
+  EXPECT_EQ(out, out_full);      // bitwise: sharding cannot change results
+  EXPECT_EQ(accum, accum_full);
+  EXPECT_EQ(delta, delta_full);
+}
+
+TEST(CsrFusedScatter, MatchesPartitionedPlusAxpy) {
+  // Make row 5 an exact unit diagonal so the identity partition is
+  // non-trivial.
+  CooBuilder builder(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i == 5) {
+      builder.add(i, i, 1.0);
+      continue;
+    }
+    if (i > 0) builder.add(i, i - 1, 0.4);
+    builder.add(i, i, i > 0 ? 0.6 : 1.0);
+  }
+  const CsrMatrix p = builder.build();
+  const auto identity = p.identity_rows();
+  ASSERT_EQ(identity.size(), 2u);  // rows 0 and 5
+  std::vector<std::uint32_t> active;
+  std::size_t next_identity = 0;
+  for (std::uint32_t row = 0; row < 8; ++row) {
+    if (next_identity < identity.size() && identity[next_identity] == row) {
+      ++next_identity;
+    } else {
+      active.push_back(row);
+    }
+  }
+
+  const std::vector<double> pi = {0.1, 0.2, 0.05, 0.15, 0.1, 0.2, 0.1, 0.1};
+  std::vector<double> expected(8, 0.0);
+  p.left_multiply_partitioned(pi, expected, active, identity);
+  std::vector<double> expected_accum(8, 0.0);
+  axpy(2.0, expected, expected_accum);
+
+  std::vector<double> out(8, 0.0);
+  std::vector<double> accum(8, 0.0);
+  const double delta =
+      p.left_multiply_partitioned_fused(pi, out, active, identity, 2.0, accum);
+  EXPECT_EQ(out, expected);  // same scatter arithmetic, bit for bit
+  EXPECT_EQ(accum, expected_accum);
+  EXPECT_NEAR(delta, linf_distance(expected, pi), 1e-15);
+}
+
+TEST(FusedGatherPlan, BitwiseMatchesCsrKernel) {
+  const CsrMatrix pt = banded(509).transposed();
+  const auto plan = FusedGatherPlan::build(pt);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->rows(), pt.rows());
+  EXPECT_EQ(plan->nonzeros(), pt.nonzeros());
+
+  const std::vector<double> x = random_vector(509, 4);
+  std::vector<double> out_csr(509, 0.0), accum_csr(509, 0.0);
+  std::vector<double> out_plan(509, 0.0), accum_plan(509, 0.0);
+  const double delta_csr =
+      pt.multiply_fused_range(x, out_csr, accum_csr, 0.375, 0, 509);
+  const double delta_plan =
+      plan->multiply_fused_range(x, out_plan, accum_plan, 0.375, 0, 509);
+  // The dictionary stores exact doubles and every row length evaluates in
+  // the same canonical order, so the two kernels agree bit for bit.
+  EXPECT_EQ(out_plan, out_csr);
+  EXPECT_EQ(accum_plan, accum_csr);
+  EXPECT_EQ(delta_plan, delta_csr);
+}
+
+TEST(FusedGatherPlan, RangesComposeBitwise) {
+  const CsrMatrix pt = banded(211).transposed();
+  const auto plan = FusedGatherPlan::build(pt);
+  ASSERT_TRUE(plan.has_value());
+  const std::vector<double> x = random_vector(211, 5);
+  std::vector<double> out_full(211, 0.0), accum_full(211, 0.0);
+  plan->multiply_fused_range(x, out_full, accum_full, 1.0, 0, 211);
+  std::vector<double> out(211, 0.0), accum(211, 0.0);
+  plan->multiply_fused_range(x, out, accum, 1.0, 100, 211);  // out of order
+  plan->multiply_fused_range(x, out, accum, 1.0, 0, 100);
+  EXPECT_EQ(out, out_full);
+  EXPECT_EQ(accum, accum_full);
+}
+
+TEST(FusedGatherPlan, RefusesWideOffsets) {
+  // An entry 40000 columns from its row cannot pack into int16.
+  CooBuilder builder(50000, 50000);
+  for (std::size_t i = 0; i < 50000; ++i) builder.add(i, i, 1.0);
+  builder.add(0, 40000, 0.5);
+  EXPECT_FALSE(FusedGatherPlan::build(builder.build()).has_value());
+}
+
+TEST(FusedGatherPlan, RefusesRectangularMatrices) {
+  CooBuilder builder(3, 4);
+  builder.add(0, 0, 1.0);
+  EXPECT_FALSE(FusedGatherPlan::build(builder.build()).has_value());
+}
+
+TEST(ReachableRows, ClosureFollowsSparsityPattern) {
+  // 0 -> 1 -> 2, 3 -> 4, 5 isolated (self loop).
+  CooBuilder builder(6, 6);
+  builder.add(0, 1, 1.0);
+  builder.add(1, 2, 1.0);
+  builder.add(3, 4, 1.0);
+  builder.add(5, 5, 1.0);
+  const CsrMatrix m = builder.build();
+  const std::vector<std::uint32_t> seed0 = {0};
+  EXPECT_EQ(m.reachable_rows(seed0), (std::vector<std::uint32_t>{0, 1, 2}));
+  const std::vector<std::uint32_t> seed3 = {3};
+  EXPECT_EQ(m.reachable_rows(seed3), (std::vector<std::uint32_t>{3, 4}));
+  const std::vector<std::uint32_t> seeds = {5, 0};
+  EXPECT_EQ(m.reachable_rows(seeds),
+            (std::vector<std::uint32_t>{0, 1, 2, 5}));
+}
+
+TEST(TransposedSubmatrix, CompactsAndTransposes) {
+  // Keep rows {0, 2, 3} of a 4x4 matrix; entries into dropped rows vanish.
+  CooBuilder builder(4, 4);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 2, 2.0);
+  builder.add(1, 0, 9.0);   // dropped row
+  builder.add(2, 1, 8.0);   // dropped column
+  builder.add(2, 3, 3.0);
+  builder.add(3, 3, 4.0);
+  const CsrMatrix m = builder.build();
+  const std::vector<std::uint32_t> keep = {0, 2, 3};
+  const CsrMatrix sub = m.transposed_submatrix(keep);
+  ASSERT_EQ(sub.rows(), 3u);
+  ASSERT_EQ(sub.cols(), 3u);
+  // Compact indices: 0 -> 0, 2 -> 1, 3 -> 2; sub holds the transpose, so
+  // a kept entry m(r, c) lands at sub(compact(c), compact(r)).
+  EXPECT_DOUBLE_EQ(sub.at(0, 0), 1.0);  // m(0,0)
+  EXPECT_DOUBLE_EQ(sub.at(1, 0), 2.0);  // m(0,2) transposed
+  EXPECT_DOUBLE_EQ(sub.at(2, 1), 3.0);  // m(2,3) transposed
+  EXPECT_DOUBLE_EQ(sub.at(2, 2), 4.0);  // m(3,3)
+  EXPECT_EQ(sub.nonzeros(), 4u);        // the 8.0 and 9.0 entries vanished
+}
+
+TEST(TransposedSubmatrix, FullKeepEqualsTranspose) {
+  const CsrMatrix m = banded(37);
+  std::vector<std::uint32_t> all(37);
+  for (std::uint32_t i = 0; i < 37; ++i) all[i] = i;
+  const CsrMatrix a = m.transposed_submatrix(all);
+  const CsrMatrix b = m.transposed();
+  ASSERT_EQ(a.nonzeros(), b.nonzeros());
+  for (std::size_t r = 0; r < 37; ++r) {
+    for (std::size_t c = 0; c < 37; ++c) {
+      EXPECT_DOUBLE_EQ(a.at(r, c), b.at(r, c));
+    }
+  }
+}
+
+TEST(TransposedSubmatrix, RejectsBadKeepSets) {
+  const CsrMatrix m = banded(8);
+  EXPECT_THROW(m.transposed_submatrix({}), InvalidArgument);
+  const std::vector<std::uint32_t> unsorted = {3, 1};
+  EXPECT_THROW(m.transposed_submatrix(unsorted), InvalidArgument);
+  const std::vector<std::uint32_t> out_of_range = {7, 9};
+  EXPECT_THROW(m.transposed_submatrix(out_of_range), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace kibamrm::linalg

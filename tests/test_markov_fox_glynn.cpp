@@ -121,5 +121,57 @@ TEST(PoissonTail, MedianOfLargeLambdaNearHalf) {
   EXPECT_NEAR(poisson_tail(10000.0, 10000), 0.5, 0.01);
 }
 
+TEST(UniformizationPlan, CachesIdenticalLookups) {
+  UniformizationPlan plan;
+  const PoissonWindow& first = plan.window(120.0, 1e-10);
+  const PoissonWindow& again = plan.window(120.0, 1e-10);
+  EXPECT_EQ(&first, &again);  // same cached entry, not a recomputation
+  EXPECT_EQ(plan.windows_computed(), 1u);
+  EXPECT_EQ(plan.windows_reused(), 1u);
+  EXPECT_EQ(plan.cached_windows(), 1u);
+}
+
+TEST(UniformizationPlan, UlpPerturbedLambdaHitsTheCache) {
+  // uniform_grid() increments differ in the last few ulps; those must not
+  // recompute the window.
+  UniformizationPlan plan;
+  const double lambda = 1234.5;
+  plan.window(lambda, 1e-10);
+  plan.window(std::nextafter(lambda, 2000.0), 1e-10);
+  plan.window(lambda * (1.0 + 1e-12), 1e-10);
+  EXPECT_EQ(plan.windows_computed(), 1u);
+  EXPECT_EQ(plan.windows_reused(), 2u);
+}
+
+TEST(UniformizationPlan, DistinctKeysComputeSeparately) {
+  UniformizationPlan plan;
+  plan.window(10.0, 1e-10);
+  plan.window(20.0, 1e-10);   // different lambda
+  plan.window(10.0, 1e-12);   // different epsilon
+  EXPECT_EQ(plan.windows_computed(), 3u);
+  EXPECT_EQ(plan.windows_reused(), 0u);
+  EXPECT_EQ(plan.cached_windows(), 3u);
+}
+
+TEST(UniformizationPlan, EvictsLeastRecentlyUsedAtCapacity) {
+  UniformizationPlan plan(2);
+  plan.window(1.0, 1e-10);
+  plan.window(2.0, 1e-10);
+  plan.window(1.0, 1e-10);  // refresh 1.0: now MRU
+  plan.window(3.0, 1e-10);  // evicts 2.0
+  EXPECT_EQ(plan.cached_windows(), 2u);
+  plan.window(2.0, 1e-10);  // recomputed
+  EXPECT_EQ(plan.windows_computed(), 4u);
+}
+
+TEST(UniformizationPlan, CachedWindowMatchesDirectComputation) {
+  UniformizationPlan plan;
+  const PoissonWindow& cached = plan.window(500.0, 1e-11);
+  const PoissonWindow direct = fox_glynn(500.0, 1e-11);
+  EXPECT_EQ(cached.left, direct.left);
+  EXPECT_EQ(cached.right, direct.right);
+  EXPECT_EQ(cached.weights, direct.weights);
+}
+
 }  // namespace
 }  // namespace kibamrm::markov

@@ -27,10 +27,16 @@ TEST(Uniformization, TwoStateMatchesClosedForm) {
   const double a = 2.0;
   const double b = 0.5;
   const Ctmc chain = two_state(a, b);
-  for (double t : {0.0, 0.1, 0.5, 1.0, 5.0, 50.0}) {
-    const auto pi = transient_distribution(chain, {1.0, 0.0}, t);
-    EXPECT_NEAR(pi[0], two_state_p0(a, b, t), 1e-9) << "t=" << t;
-    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+  // One solver for the whole grid: repeated one-shot
+  // transient_distribution() calls would rebuild the uniformised matrix
+  // per time point.
+  TransientSolver solver(chain);
+  const std::vector<double> times = {0.0, 0.1, 0.5, 1.0, 5.0, 50.0};
+  const auto curves = solver.solve({1.0, 0.0}, times);
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    EXPECT_NEAR(curves[k][0], two_state_p0(a, b, times[k]), 1e-9)
+        << "t=" << times[k];
+    EXPECT_NEAR(curves[k][0] + curves[k][1], 1.0, 1e-12);
   }
 }
 
@@ -76,11 +82,14 @@ TEST(Uniformization, RepeatedTimePointsAllowed) {
 }
 
 TEST(Uniformization, AbsorbingChainAccumulatesMass) {
-  // 0 -> 1 at rate 2, state 1 absorbing: pi_1(t) = 1 - e^{-2t}.
+  // 0 -> 1 at rate 2, state 1 absorbing: pi_1(t) = 1 - e^{-2t}.  One
+  // reusable solver instead of a one-shot rebuild per time point.
   const Ctmc chain = ctmc_from_rates({{0.0, 2.0}, {0.0, 0.0}});
-  for (double t : {0.1, 1.0, 3.0}) {
-    const auto pi = transient_distribution(chain, {1.0, 0.0}, t);
-    EXPECT_NEAR(pi[1], 1.0 - std::exp(-2.0 * t), 1e-10);
+  TransientSolver solver(chain);
+  const std::vector<double> times = {0.1, 1.0, 3.0};
+  const auto curves = solver.solve({1.0, 0.0}, times);
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    EXPECT_NEAR(curves[k][1], 1.0 - std::exp(-2.0 * times[k]), 1e-10);
   }
 }
 
@@ -143,6 +152,121 @@ TEST(Uniformization, RejectsBadInputs) {
   EXPECT_THROW(solver.solve(good, {-1.0}), InvalidArgument);        // negative
   EXPECT_THROW(TransientSolver(chain, {.uniformization_rate = 0.5}),
                InvalidArgument);  // rate below max exit rate
+}
+
+TEST(Uniformization, FusedMatchesBaselineLoop) {
+  // The fused compacted gather loop and the pre-fusion scatter loop are
+  // different arithmetic over the same series; they must agree to solver
+  // accuracy everywhere.
+  const Ctmc chain = ctmc_from_rates({{0.0, 1.2, 0.3, 0.0},
+                                      {0.4, 0.0, 2.0, 0.1},
+                                      {0.0, 0.7, 0.0, 0.9},
+                                      {1.5, 0.0, 0.2, 0.0}});
+  const std::vector<double> initial = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> times = {0.5, 1.7, 4.0, 12.0};
+  TransientSolver fused(chain);
+  TransientSolver baseline(
+      chain, {.fused_kernels = false, .steady_state_detection = false});
+  const auto a = fused.solve(initial, times);
+  const auto b = baseline.solve(initial, times);
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    EXPECT_LT(linalg::linf_distance(a[k], b[k]), 1e-12) << "t=" << times[k];
+  }
+}
+
+TEST(Uniformization, SteadyStateDetectionSkipsConvergedTail) {
+  // two_state(2, 6) relaxes fast (second DTMC eigenvalue ~0.02), so a
+  // long-horizon window is almost entirely converged tail.
+  const Ctmc chain = two_state(2.0, 6.0);
+  TransientSolver solver(chain);
+  const auto pi = solver.solve({0.0, 1.0}, {500.0}).front();
+  EXPECT_NEAR(pi[0], 0.75, 1e-9);
+  EXPECT_NEAR(pi[1], 0.25, 1e-9);
+  const TransientStats& stats = solver.last_stats();
+  EXPECT_GT(stats.iterations_saved, stats.iterations)
+      << "most of the ~4000-term window should be short-circuited";
+  EXPECT_EQ(stats.steady_state_hits, 1u);
+  // iterations + iterations_saved always equals the full window term
+  // count, so the accounting is closed.
+  TransientSolver no_detect(chain, {.steady_state_detection = false});
+  no_detect.solve({0.0, 1.0}, {500.0});
+  EXPECT_EQ(stats.iterations + stats.iterations_saved,
+            no_detect.last_stats().iterations);
+}
+
+TEST(Uniformization, DetectionNeverFiresWhileTransient) {
+  // Short horizon on a slowly mixing chain: the distribution is still
+  // moving, detection must not trigger.
+  const Ctmc chain = two_state(1.0, 1.0);
+  TransientSolver solver(chain);
+  solver.solve({1.0, 0.0}, {1.0});
+  EXPECT_EQ(solver.last_stats().steady_state_hits, 0u);
+  EXPECT_EQ(solver.last_stats().iterations_saved, 0u);
+}
+
+TEST(Uniformization, DetectionOnOffAgreeWithinBudget) {
+  const Ctmc chain = ctmc_from_rates({{0.0, 5.0, 0.0},
+                                      {1.0, 0.0, 4.0},
+                                      {0.0, 2.0, 0.0}});
+  std::vector<double> times;
+  for (int i = 1; i <= 40; ++i) times.push_back(2.5 * i);
+  TransientSolver on(chain);
+  TransientSolver off(chain, {.steady_state_detection = false});
+  const auto a = on.solve({1.0, 0.0, 0.0}, times);
+  const auto b = off.solve({1.0, 0.0, 0.0}, times);
+  const double budget = 10.0 * 1e-10;  // 10 * default epsilon
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    EXPECT_LT(linalg::linf_distance(a[k], b[k]), budget) << "t=" << times[k];
+  }
+  EXPECT_GT(on.last_stats().iterations_saved, 0u);
+}
+
+TEST(Uniformization, UniformGridComputesExactlyOneWindow) {
+  // 1000-point uniform grid: every increment shares one lambda, so the
+  // plan cache must compute a single Fox-Glynn window for the whole curve.
+  const Ctmc chain = two_state(1.0, 1.0);
+  TransientSolver solver(chain);
+  std::vector<double> times(1000);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    times[i] = 14.0 * static_cast<double>(i + 1);
+  }
+  solver.solve({1.0, 0.0}, times);
+  EXPECT_EQ(solver.last_stats().windows_computed, 1u);
+  EXPECT_EQ(solver.last_stats().windows_reused, 999u);
+}
+
+TEST(Uniformization, CompactsToReachableClosure) {
+  // State 2 is unreachable from state 0; the fused loop must iterate only
+  // the two reachable states yet still report full-size distributions.
+  const Ctmc chain = ctmc_from_rates({{0.0, 1.0, 0.0},
+                                      {2.0, 0.0, 0.0},
+                                      {1.0, 1.0, 0.0}});
+  TransientSolver solver(chain);
+  const auto pi = solver.solve({1.0, 0.0, 0.0}, {3.0}).front();
+  ASSERT_EQ(pi.size(), 3u);
+  EXPECT_EQ(solver.last_stats().active_states, 2u);
+  EXPECT_EQ(pi[2], 0.0);
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+}
+
+TEST(Uniformization, ReusableSolverHandlesGrowingSupport) {
+  // A second initial outside the cached closure must transparently rebuild
+  // the compacted machinery (and keep the earlier initials valid).
+  const Ctmc chain = ctmc_from_rates({{0.0, 1.0, 0.0},
+                                      {2.0, 0.0, 0.0},
+                                      {1.0, 1.0, 0.0}});
+  TransientSolver solver(chain);
+  const auto first = solver.solve({1.0, 0.0, 0.0}, {2.0}).front();
+  EXPECT_EQ(solver.last_stats().active_states, 2u);
+  const auto second = solver.solve({0.0, 0.0, 1.0}, {2.0}).front();
+  EXPECT_EQ(solver.last_stats().active_states, 3u);
+  const auto again = solver.solve({1.0, 0.0, 0.0}, {2.0}).front();
+  // Cross-check both against one-shot solves.
+  const auto ref_first = transient_distribution(chain, {1.0, 0.0, 0.0}, 2.0);
+  const auto ref_second = transient_distribution(chain, {0.0, 0.0, 1.0}, 2.0);
+  EXPECT_LT(linalg::linf_distance(first, ref_first), 1e-12);
+  EXPECT_LT(linalg::linf_distance(second, ref_second), 1e-12);
+  EXPECT_LT(linalg::linf_distance(again, ref_first), 1e-12);
 }
 
 TEST(Uniformization, ProbabilityVectorStaysNormalised) {

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());
   const auto threads =
-      static_cast<std::size_t>(args.get_positive_int("threads", 0));
+      static_cast<std::size_t>(args.get_nonnegative_int("threads", 0));
 
   std::cout << "=== Ablation: Sec. 5.3 complexity scaling (t = 17000 s; "
                "engine = " << engine << ") ===\n\n";

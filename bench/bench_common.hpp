@@ -147,7 +147,7 @@ class BenchReport {
 /// under a fictitious thread count 0.
 inline std::size_t resolved_thread_count(const std::string& engine,
                                          std::size_t requested) {
-  if (engine != "parallel") return 1;
+  if (engine != "parallel" && engine != "krylov") return 1;
   return requested == 0 ? common::ThreadPool::hardware_thread_count()
                         : requested;
 }
@@ -230,6 +230,9 @@ inline BenchRecord& add_engine_record(BenchReport& report,
       .field("iterations_saved", run.stats.iterations_saved)
       .field("active_states", run.stats.active_states)
       .field("active_nonzeros", run.stats.active_nonzeros)
+      .field("krylov_dim", run.stats.krylov_dim)
+      .field("substeps", run.stats.substeps)
+      .field("hessenberg_expms", run.stats.hessenberg_expms)
       .field("spmv_throughput", spmv_throughput(run.stats, run.wall_seconds))
       .field("wall_seconds", run.wall_seconds);
 }
@@ -250,6 +253,9 @@ inline BenchRecord& add_scenario_record(BenchReport& report,
       .field("iterations_saved", result.stats.iterations_saved)
       .field("active_states", result.stats.active_states)
       .field("active_nonzeros", result.stats.active_nonzeros)
+      .field("krylov_dim", result.stats.krylov_dim)
+      .field("substeps", result.stats.substeps)
+      .field("hessenberg_expms", result.stats.hessenberg_expms)
       .field("spmv_throughput",
              spmv_throughput(result.stats, result.wall_seconds))
       .field("wall_seconds", result.wall_seconds);
@@ -265,6 +271,7 @@ inline BenchRecord& add_batch_record(BenchReport& report,
       .field("batch", "aggregate")
       .field("scenarios", stats.scenarios)
       .field("skipped", stats.skipped)
+      .field("failed", stats.failed)
       .field("threads", stats.threads)
       .field("batch_wall_seconds", stats.wall_seconds)
       .field("solve_seconds_total", stats.solve_seconds_total)

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());
   const auto threads =
-      static_cast<std::size_t>(args.get_positive_int("threads", 0));
+      static_cast<std::size_t>(args.get_nonnegative_int("threads", 0));
 
   std::cout << "=== Figure 8: on/off lifetime CDF (C = 7200 As, c = 0.625, "
                "k = 4.5e-5/s; engine = " << engine << ") ===\n"
@@ -76,6 +76,11 @@ int main(int argc, char** argv) {
       const auto& result = results[i];
       if (result.skipped) {
         std::cout << result.label << ": skipped (" << result.skip_reason
+                  << ")\n";
+        continue;
+      }
+      if (result.failed) {
+        std::cout << result.label << ": failed (" << result.failure_reason
                   << ")\n";
         continue;
       }

@@ -141,7 +141,7 @@ void BM_FoxGlynnPlanReuse(benchmark::State& state) {
   const double lambda = static_cast<double>(state.range(0));
   plan.window(lambda, 1e-10);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(&plan.window(lambda, 1e-10));
+    benchmark::DoNotOptimize(plan.window(lambda, 1e-10).get());
   }
 }
 BENCHMARK(BM_FoxGlynnPlanReuse)->Arg(1000)->Arg(46000);

@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());
   const auto threads =
-      static_cast<std::size_t>(args.get_positive_int("threads", 0));
+      static_cast<std::size_t>(args.get_nonnegative_int("threads", 0));
   const double delta = args.get_double("delta", 100.0);
 
   std::cout << "=== Table 1: experimental and computed lifetimes (min) ===\n"
@@ -159,6 +159,11 @@ int main(int argc, char** argv) {
     if (result.skipped) {
       std::cout << "  " << result.label << ": skipped ("
                 << result.skip_reason << ")\n";
+      continue;
+    }
+    if (result.failed) {
+      std::cout << "  " << result.label << ": failed ("
+                << result.failure_reason << ")\n";
       continue;
     }
     std::cout << "  median[" << result.label << "] = "

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());
   const auto threads =
-      static_cast<std::size_t>(args.get_positive_int("threads", 0));
+      static_cast<std::size_t>(args.get_nonnegative_int("threads", 0));
   // Delta = 5 gives an 18k-state chain; the dense oracle needs a coarser
   // default grid to stay under its state limit.
   const double delta = args.get_double("delta", engine == "dense" ? 50.0

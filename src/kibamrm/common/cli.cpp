@@ -64,14 +64,23 @@ int CliArgs::get_int(const std::string& name, int fallback) const {
   return as_int;
 }
 
-int CliArgs::get_positive_int(const std::string& name, int fallback) const {
+int CliArgs::get_int_at_least(const std::string& name, int fallback,
+                              int minimum, const char* adjective) const {
   const auto it = options_.find(name);
   if (it == options_.end() || !it->second.has_value()) return fallback;
   const int value = get_int(name, fallback);
-  KIBAMRM_REQUIRE(value >= 1, "option --" + name +
-                                  " must be a positive integer, got: " +
-                                  *it->second);
+  KIBAMRM_REQUIRE(value >= minimum, "option --" + name + " must be a " +
+                                        adjective + " integer, got: " +
+                                        *it->second);
   return value;
+}
+
+int CliArgs::get_positive_int(const std::string& name, int fallback) const {
+  return get_int_at_least(name, fallback, 1, "positive");
+}
+
+int CliArgs::get_nonnegative_int(const std::string& name, int fallback) const {
+  return get_int_at_least(name, fallback, 0, "non-negative");
 }
 
 std::vector<double> CliArgs::get_double_list(

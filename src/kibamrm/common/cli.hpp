@@ -28,10 +28,16 @@ class CliArgs {
   int get_int(const std::string& name, int fallback) const;
 
   /// get_int additionally requiring any *provided* value to be >= 1 --
-  /// thread counts, replication counts.  Rejects 0, negatives, fractions
-  /// and garbage with InvalidArgument.  The fallback itself is exempt, so
-  /// callers may default to a sentinel (e.g. 0 = auto-detect threads).
+  /// replication counts, subspace dimensions.  Rejects 0, negatives,
+  /// fractions and garbage with InvalidArgument.  The fallback itself is
+  /// exempt, so callers may default to a sentinel.
   int get_positive_int(const std::string& name, int fallback) const;
+
+  /// get_int additionally requiring any *provided* value to be >= 0 --
+  /// options whose 0 is a documented sentinel, like `--threads 0` =
+  /// auto-detect (get_positive_int would reject the explicit 0 the help
+  /// text advertises).  Rejects negatives, fractions and garbage.
+  int get_nonnegative_int(const std::string& name, int fallback) const;
 
   /// Parses a comma-separated list of doubles, e.g. `--delta 100,50,25`.
   std::vector<double> get_double_list(const std::string& name,
@@ -57,6 +63,12 @@ class CliArgs {
   void validate() const;
 
  private:
+  /// Shared body of the bounded-int accessors: fallback passthrough when
+  /// absent, then get_int with the lower bound named by `adjective` in
+  /// the error message.
+  int get_int_at_least(const std::string& name, int fallback, int minimum,
+                       const char* adjective) const;
+
   std::string program_;
   std::map<std::string, std::optional<std::string>> options_;
   std::vector<std::string> positional_;

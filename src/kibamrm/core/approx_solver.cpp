@@ -27,14 +27,22 @@ MarkovianApproximation::MarkovianApproximation(const KibamRmModel& model,
 LifetimeCurve MarkovianApproximation::solve(const std::vector<double>& times) {
   LifetimeCurve curve = solve_empty_probability_curve(expanded_, *backend_,
                                                       times, options_.epsilon);
-  stats_.uniformization_iterations = backend_->last_stats().iterations;
-  stats_.uniformization_rate = backend_->last_stats().uniformization_rate;
-  stats_.iterations_saved = backend_->last_stats().iterations_saved;
-  stats_.windows_computed = backend_->last_stats().windows_computed;
-  stats_.windows_reused = backend_->last_stats().windows_reused;
-  stats_.active_states = backend_->last_stats().active_states;
-  stats_.active_nonzeros = backend_->last_stats().active_nonzeros;
+  absorb_backend_stats(stats_, backend_->last_stats());
   return curve;
+}
+
+void absorb_backend_stats(ApproximationStats& stats,
+                          const engine::BackendStats& backend) {
+  stats.uniformization_iterations = backend.iterations;
+  stats.uniformization_rate = backend.uniformization_rate;
+  stats.iterations_saved = backend.iterations_saved;
+  stats.windows_computed = backend.windows_computed;
+  stats.windows_reused = backend.windows_reused;
+  stats.active_states = backend.active_states;
+  stats.active_nonzeros = backend.active_nonzeros;
+  stats.krylov_dim = backend.krylov_dim;
+  stats.substeps = backend.substeps;
+  stats.hessenberg_expms = backend.hessenberg_expms;
 }
 
 LifetimeCurve solve_empty_probability_curve(const ExpandedChain& expanded,

@@ -68,7 +68,19 @@ struct ApproximationStats {
   /// throughput metrics).
   std::uint64_t active_states = 0;
   std::uint64_t active_nonzeros = 0;
+  /// Krylov engine: largest Arnoldi subspace dimension used, accepted
+  /// adaptive sub-steps, and small Hessenberg exponentials evaluated
+  /// (including rejected trials); 0 for other engines.
+  std::uint64_t krylov_dim = 0;
+  std::uint64_t substeps = 0;
+  std::uint64_t hessenberg_expms = 0;
 };
+
+/// Copies the per-solve cost counters of a backend into the
+/// approximation-level record (shared by MarkovianApproximation and
+/// engine::ScenarioBatch so batched and sequential stats cannot drift).
+void absorb_backend_stats(ApproximationStats& stats,
+                          const engine::BackendStats& backend);
 
 class MarkovianApproximation {
  public:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "kibamrm/common/error.hpp"
 #include "kibamrm/linalg/vector_ops.hpp"
@@ -121,10 +122,17 @@ void AdaptiveBackend::integrate(const markov::Ctmc& chain,
     // The attempted step is clipped to the output boundary; the clip must
     // not feed back into the controller step h below.
     const double step = std::min(h, t_to - t);
-    if (!(t + step > t)) {
+    // Step-size underflow: the step can no longer advance the clock, or
+    // it is below the remaining span times machine epsilon -- finishing
+    // the increment would then take more than ~1/eps steps, so the
+    // stepper cannot succeed no matter how long it runs.  (The clock
+    // test alone only fires at t ~ step/eps, which stiff chains never
+    // reach in bounded work.)
+    if (!(t + step > t) ||
+        step <= std::numeric_limits<double>::epsilon() * (t_to - t)) {
       throw NumericalError(
           "adaptive engine: step size underflow (chain too stiff for the "
-          "explicit stepper; use the uniformization engine)");
+          "explicit stepper; use the krylov or uniformization engine)");
     }
 
     // Stage cascade; trial_ holds the running argument.
@@ -160,14 +168,22 @@ void AdaptiveBackend::integrate(const markov::Ctmc& chain,
     }
     rhs(trial_, k7);
 
-    // Scaled max-norm of the embedded error estimate.
+    // Scaled max-norm of the embedded error estimate.  A NaN component
+    // (overflowed stages cancelling Inf - Inf) must force a rejection
+    // explicitly: std::max(err, NaN) keeps err, so NaN would otherwise
+    // vanish from the estimate and the broken step would be *accepted*.
     double err = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       const double e = step * (kE1 * k1[i] + kE3 * k3[i] + kE4 * k4[i] +
                                kE5 * k5[i] + kE6 * k6[i] + kE7 * k7[i]);
       const double scale =
           atol + rtol * std::max(std::abs(state[i]), std::abs(trial_[i]));
-      err = std::max(err, std::abs(e) / scale);
+      const double component = std::abs(e) / scale;
+      if (!std::isfinite(component)) {
+        err = std::numeric_limits<double>::infinity();
+        break;
+      }
+      err = std::max(err, component);
     }
 
     const bool accepted = err <= 1.0;
@@ -178,8 +194,13 @@ void AdaptiveBackend::integrate(const markov::Ctmc& chain,
     } else {
       ++stats_.rejected_steps;
     }
-    const double factor =
-        err > 0.0 ? kSafety * std::pow(err, -0.2) : kMaxGrow;
+    // A non-finite estimate (overflowed stages on violently stiff
+    // chains) must shrink the step: the `err > 0.0` test alone let NaN
+    // select kMaxGrow, growing the step on every rejection -- an
+    // infinite loop instead of the documented underflow failure.
+    const double factor = !std::isfinite(err) ? kMinShrink
+                          : err > 0.0         ? kSafety * std::pow(err, -0.2)
+                                              : kMaxGrow;
     const double proposed = step * std::clamp(factor, kMinShrink, kMaxGrow);
     if (accepted && step < h) {
       // A boundary-clipped accepted step says nothing against the larger

@@ -58,17 +58,15 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
       fused ? linalg::FusedGatherPlan::build(pt) : std::nullopt;
   const std::size_t loop_rows = pt.rows();
   const std::size_t loop_nonzeros = pt.nonzeros();
-  // More shards than lanes lets the atomic claim loop absorb row-range
-  // cost imbalance the static nnz split cannot see (e.g. the all-zero
-  // stretch of an early transient vector).  Below ~16k nonzeros one spmv
-  // costs less than waking the pool, so small chains run inline -- the
-  // gather arithmetic is identical either way, results stay bitwise equal.
-  const bool use_pool =
-      pool_->thread_count() > 1 && loop_nonzeros + loop_rows >= 16384;
-  const std::vector<std::size_t> ranges =
-      use_pool ? pt.balanced_row_ranges(4 * pool_->thread_count())
-               : std::vector<std::size_t>{0, loop_rows};
-  const std::size_t shard_count = ranges.size() - 1;
+  // Shared shard policy (see plan_gather_shards): oversubscribed
+  // nnz-balanced ranges over the pool, or inline below the pool-wake
+  // threshold -- the gather arithmetic is identical either way, results
+  // stay bitwise equal.
+  const GatherShardPlan shards =
+      plan_gather_shards(pt, pool_->thread_count());
+  const bool use_pool = shards.use_pool;
+  const std::vector<std::size_t>& ranges = shards.ranges;
+  const std::size_t shard_count = shards.shard_count();
   if (plan) {
     pt = linalg::CsrMatrix(1, 1);  // the packed layout replaces the CSR copy
   }
@@ -117,8 +115,9 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
     const double dt = times[idx] - current_time;
     if (dt > 0.0) {
       const double lambda = rate * dt;
-      const markov::PoissonWindow& window =
+      const std::shared_ptr<const markov::PoissonWindow> window_ptr =
           plan_.window(lambda, options_.epsilon);
+      const markov::PoissonWindow& window = *window_ptr;
       linalg::fill(accum_, 0.0);
       power_ = current;
       if (window.left == 0) {

@@ -65,23 +65,17 @@ std::vector<ScenarioResult> ScenarioBatch::solve_all(
         try {
           result.curve = core::solve_empty_probability_curve(
               expanded, *scratch.backend, scenario.times, options_.epsilon);
-          result.stats.uniformization_iterations =
-              scratch.backend->last_stats().iterations;
-          result.stats.uniformization_rate =
-              scratch.backend->last_stats().uniformization_rate;
-          result.stats.iterations_saved =
-              scratch.backend->last_stats().iterations_saved;
-          result.stats.windows_computed =
-              scratch.backend->last_stats().windows_computed;
-          result.stats.windows_reused =
-              scratch.backend->last_stats().windows_reused;
-          result.stats.active_states =
-              scratch.backend->last_stats().active_states;
-          result.stats.active_nonzeros =
-              scratch.backend->last_stats().active_nonzeros;
+          core::absorb_backend_stats(result.stats,
+                                     scratch.backend->last_stats());
         } catch (const UnsupportedChainError& error) {
           result.skipped = true;
           result.skip_reason = error.what();
+        } catch (const NumericalError& error) {
+          // One stiff scenario must not abort the batch and discard every
+          // completed curve; the failure is recorded in place.  Anything
+          // other than a solver convergence failure still propagates.
+          result.failed = true;
+          result.failure_reason = error.what();
         }
         result.wall_seconds = std::chrono::duration<double>(
                                   std::chrono::steady_clock::now() - start)
@@ -96,6 +90,7 @@ std::vector<ScenarioResult> ScenarioBatch::solve_all(
                             .count();
   for (const ScenarioResult& result : results) {
     if (result.skipped) ++stats_.skipped;
+    if (result.failed) ++stats_.failed;
     stats_.solve_seconds_total += result.wall_seconds;
     stats_.iterations_total += result.stats.uniformization_iterations;
     stats_.iterations_saved_total += result.stats.iterations_saved;

@@ -44,7 +44,10 @@ struct Scenario {
 
 /// Outcome of one scenario; `skipped` mirrors the sweep-driver convention:
 /// an engine refusing the chain by design (UnsupportedChainError) is a
-/// skip, any other failure propagates out of solve_all().
+/// skip.  A numerical failure (NumericalError -- e.g. the adaptive
+/// stepper underflowing on one stiff scenario) is isolated per scenario
+/// as `failed`, so the rest of the batch still returns its curves; only
+/// truly unexpected exceptions propagate out of solve_all().
 struct ScenarioResult {
   std::string label;
   std::optional<core::LifetimeCurve> curve;
@@ -52,12 +55,16 @@ struct ScenarioResult {
   double wall_seconds = 0.0;
   bool skipped = false;
   std::string skip_reason;
+  bool failed = false;
+  std::string failure_reason;
 };
 
 /// Aggregate counters of the last solve_all().
 struct BatchStats {
   std::size_t scenarios = 0;
   std::size_t skipped = 0;
+  /// Scenarios whose solve failed numerically (ScenarioResult::failed).
+  std::size_t failed = 0;
   /// Lanes the pool ran (after auto-detection).
   std::size_t threads = 1;
   /// Wall-clock of the whole batch (what a serving frontend waits for).

@@ -7,6 +7,7 @@
 #include "kibamrm/common/error.hpp"
 #include "kibamrm/engine/adaptive_backend.hpp"
 #include "kibamrm/engine/dense_expm_backend.hpp"
+#include "kibamrm/engine/krylov_backend.hpp"
 #include "kibamrm/engine/parallel_backend.hpp"
 #include "kibamrm/engine/uniformization_backend.hpp"
 #include "kibamrm/linalg/vector_ops.hpp"
@@ -33,11 +34,26 @@ std::map<std::string, BackendFactory, std::less<>>& registry() {
        [](const BackendOptions& options) -> std::unique_ptr<TransientBackend> {
          return std::make_unique<ParallelUniformizationBackend>(options);
        }},
+      {"krylov",
+       [](const BackendOptions& options) -> std::unique_ptr<TransientBackend> {
+         return std::make_unique<KrylovBackend>(options);
+       }},
   };
   return backends;
 }
 
 }  // namespace
+
+GatherShardPlan plan_gather_shards(const linalg::CsrMatrix& matrix,
+                                   std::size_t lanes) {
+  GatherShardPlan plan;
+  plan.use_pool =
+      lanes > 1 && matrix.nonzeros() + matrix.rows() >= 16384;
+  plan.ranges = plan.use_pool
+                    ? matrix.balanced_row_ranges(4 * lanes)
+                    : std::vector<std::size_t>{0, matrix.rows()};
+  return plan;
+}
 
 void TransientBackend::check_arguments(const markov::Ctmc& chain,
                                        const std::vector<double>& initial,

@@ -22,6 +22,12 @@
 //                     ThreadPool (transposed gather kernel, nnz-balanced
 //                     row ranges) -- bitwise deterministic across thread
 //                     counts; the multi-core production path
+//   "krylov"          Arnoldi projection of exp(Q^T t) v onto a small
+//                     Krylov subspace with EXPOKIT-style adaptive
+//                     sub-step splitting -- the stiff-chain path: its
+//                     cost scales with how fast the *solution* moves,
+//                     not with the spectral radius that defeats the
+//                     explicit stepper and bloats the Poisson window
 //
 // New backends (sharded, GPU) register through register_backend() without
 // another restructure of the call sites.
@@ -35,9 +41,32 @@
 #include <vector>
 
 #include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/csr_matrix.hpp"
 #include "kibamrm/markov/ctmc.hpp"
 
 namespace kibamrm::engine {
+
+/// How a pool-sharded gather matvec splits its rows; shared by the
+/// parallel and krylov backends so the engagement threshold and the
+/// oversubscription factor stay tuned in exactly one place.
+struct GatherShardPlan {
+  /// False when one lane (or a matrix too small to amortise waking the
+  /// pool) makes the inline loop the faster path.
+  bool use_pool = false;
+  /// Shard boundaries: ranges[i]..ranges[i+1] is shard i; always at
+  /// least {0, rows}.
+  std::vector<std::size_t> ranges;
+
+  std::size_t shard_count() const { return ranges.size() - 1; }
+};
+
+/// Splits `matrix` for a gather matvec over `lanes` pool lanes.  Below
+/// ~16k stored entries one spmv costs less than waking the pool, so the
+/// plan stays inline; otherwise rows are nnz-balanced into 4x-lane
+/// shards (the oversubscription lets the atomic claim loop absorb cost
+/// imbalance a static split cannot see).
+GatherShardPlan plan_gather_shards(const linalg::CsrMatrix& matrix,
+                                   std::size_t lanes);
 
 /// Thrown when a backend cannot solve a given chain *by design* (e.g. the
 /// dense backend refusing a chain above its state limit) -- as opposed to
@@ -81,6 +110,16 @@ struct BackendOptions {
   /// error is charged against `epsilon`, so accuracy guarantees keep
   /// their order.  Other backends ignore it.
   bool steady_state_detection = true;
+  /// Krylov backend: Arnoldi subspace dimension cap m.  Larger subspaces
+  /// permit larger sub-steps at O(m) extra matvecs and an O(m^3) small
+  /// exponential per step; ~30 is the EXPOKIT sweet spot for chains of
+  /// this stiffness.  Other backends ignore it.
+  std::size_t krylov_dim = 30;
+  /// Krylov backend: cap on adaptive sub-steps per time increment before
+  /// the solve fails with NumericalError -- a runaway-splitting guard, not
+  /// a tuning knob (stiff battery chains finish in tens to hundreds of
+  /// sub-steps).  Other backends ignore it.
+  std::size_t krylov_max_substeps = 500000;
 };
 
 /// Cost counters, populated by every backend after each solve().
@@ -111,6 +150,16 @@ struct BackendStats {
   /// actually iterates (compacted transpose when fused, full uniformised
   /// P otherwise); 0 for other backends.
   std::uint64_t active_nonzeros = 0;
+  /// Krylov backend: largest Arnoldi subspace dimension used during the
+  /// last solve (the configured cap, or less after happy breakdowns on
+  /// near-invariant starts); 0 elsewhere.
+  std::uint64_t krylov_dim = 0;
+  /// Krylov backend: accepted adaptive sub-steps over the whole solve
+  /// (each one Arnoldi factorisation); 0 elsewhere.
+  std::uint64_t substeps = 0;
+  /// Krylov backend: small Hessenberg exponentials evaluated, including
+  /// rejected trial steps (each one cached-Pade evaluation); 0 elsewhere.
+  std::uint64_t hessenberg_expms = 0;
 };
 
 /// Called with (index, time, distribution) as soon as each requested time

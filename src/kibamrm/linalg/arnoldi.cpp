@@ -1,0 +1,61 @@
+#include "kibamrm/linalg/arnoldi.hpp"
+
+#include <cmath>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/vector_ops.hpp"
+
+namespace kibamrm::linalg {
+
+ArnoldiResult arnoldi(const ArnoldiMatvec& matvec,
+                      std::vector<std::vector<double>>& basis, DenseReal& h,
+                      std::size_t m, double breakdown_tolerance) {
+  KIBAMRM_REQUIRE(m >= 1, "arnoldi: subspace dimension must be >= 1");
+  KIBAMRM_REQUIRE(basis.size() >= m + 1,
+                  "arnoldi: basis must hold at least m+1 vectors");
+  KIBAMRM_REQUIRE(h.rows() >= m + 1 && h.cols() >= m,
+                  "arnoldi: Hessenberg must be at least (m+1) x m");
+
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    for (std::size_t j = 0; j < h.cols(); ++j) h(i, j) = 0.0;
+  }
+
+  ArnoldiResult result;
+  for (std::size_t j = 0; j < m; ++j) {
+    std::vector<double>& w = basis[j + 1];
+    matvec(basis[j], w);
+    ++result.matvecs;
+    const double wnorm = std::sqrt(dot(w, w));
+    // Modified Gram-Schmidt: project out each basis vector in turn (the
+    // updated w feeds the next projection, which is what distinguishes
+    // MGS from the unstable classical variant).
+    for (std::size_t i = 0; i <= j; ++i) {
+      const double hij = dot(basis[i], w);
+      h(i, j) = hij;
+      axpy(-hij, basis[i], w);
+    }
+    // Reorthogonalise once ("twice is enough", Kahan/Parlett): on stiff
+    // chains ||A v_j|| dwarfs the residual, so the first pass leaves
+    // O(eps ||A v_j||) components along the basis from cancellation --
+    // a relative perturbation that would poison exactly the slow
+    // couplings the Krylov projection exists to resolve.  The second
+    // pass removes them; its corrections fold into H so the Arnoldi
+    // relation A V_k = V_{k+1} H_k keeps holding.
+    for (std::size_t i = 0; i <= j; ++i) {
+      const double correction = dot(basis[i], w);
+      h(i, j) += correction;
+      axpy(-correction, basis[i], w);
+    }
+    const double residual = std::sqrt(dot(w, w));
+    h(j + 1, j) = residual;
+    result.dim = j + 1;
+    if (residual <= breakdown_tolerance * wnorm) {
+      result.happy_breakdown = true;
+      return result;
+    }
+    scale(w, 1.0 / residual);
+  }
+  return result;
+}
+
+}  // namespace kibamrm::linalg

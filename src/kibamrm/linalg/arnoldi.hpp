@@ -1,0 +1,58 @@
+// Arnoldi process: orthonormal bases of Krylov subspaces K_m(A, v).
+//
+// The Krylov transient backend approximates exp(t A) v by projecting A
+// onto the small subspace span{v, Av, ..., A^{m-1} v}:
+//     exp(t A) v  ~=  beta V_m exp(t H_m) e_1,     beta = ||v||_2,
+// where V_m is the orthonormal Arnoldi basis and H_m = V_m^T A V_m the
+// (m+1) x m upper-Hessenberg projection.  Only matrix-vector products with
+// A are needed, so the caller supplies the matvec (the backend shards it
+// across a thread pool) and this module owns just the orthogonalisation.
+//
+// Modified Gram-Schmidt with one reorthogonalisation pass is used
+// (EXPOKIT runs plain MGS; the extra pass costs no matvecs and keeps the
+// slow couplings resolvable on chains whose fast/slow rate ratio
+// approaches 1/eps -- see the note at ArnoldiResult::happy_breakdown).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "kibamrm/linalg/dense_matrix.hpp"
+
+namespace kibamrm::linalg {
+
+/// out = A * in; `out` is pre-sized to in.size() and fully overwritten.
+using ArnoldiMatvec =
+    std::function<void(const std::vector<double>&, std::vector<double>&)>;
+
+/// Result of one Arnoldi factorisation A V_k = V_{k+1} H_k.
+struct ArnoldiResult {
+  /// Completed Krylov steps k (== columns of H with meaning); k < m only
+  /// after a happy breakdown.
+  std::size_t dim = 0;
+  /// True when the residual norm h_{k+1,k} fell below the breakdown
+  /// tolerance relative to ||A v_k||: K_k(A, v) is (numerically)
+  /// A-invariant and the projected exponential is exact, for any step
+  /// size.  The scale must be the *current* matvec, not ||A||: on stiff
+  /// chains a quasi-equilibrated v has ||A v|| orders of magnitude below
+  /// ||A||, and an absolute threshold would swallow the slow couplings
+  /// that carry the physics.
+  bool happy_breakdown = false;
+  /// Matrix-vector products performed (== dim).
+  std::size_t matvecs = 0;
+};
+
+/// Runs m Arnoldi steps from the unit vector in basis[0] (the caller
+/// normalises), filling basis[1..dim] and the (m+1) x m Hessenberg `h`
+/// (zeroed here).  `basis` must hold at least m+1 vectors of the problem
+/// dimension; basis[j+1] doubles as the matvec target of step j, so no
+/// extra scratch is needed.
+///
+/// Stops early when h_{k+1,k} <= breakdown_tolerance * ||A v_k|| (happy
+/// breakdown); pass a small multiple of machine epsilon.
+ArnoldiResult arnoldi(const ArnoldiMatvec& matvec,
+                      std::vector<std::vector<double>>& basis, DenseReal& h,
+                      std::size_t m, double breakdown_tolerance);
+
+}  // namespace kibamrm::linalg

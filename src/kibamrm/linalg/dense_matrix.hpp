@@ -143,13 +143,16 @@ Dense<Scalar> lu_solve(Dense<Scalar> a, Dense<Scalar> b) {
       for (std::size_t j = 0; j < m; ++j) b(r, j) -= factor * b(col, j);
     }
   }
-  // Back substitution.
+  // Back substitution.  True division, not multiplication by a rounded
+  // reciprocal: x/x must come out exactly 1, or structurally-invariant
+  // rows (absorbing states in expm operands) pick up an ulp of error
+  // that a long scaling-and-squaring chain amplifies by 2^squarings.
   for (std::size_t ri = n; ri-- > 0;) {
-    const Scalar inv = Scalar{1} / a(ri, ri);
+    const Scalar pivot = a(ri, ri);
     for (std::size_t j = 0; j < m; ++j) {
       Scalar acc = b(ri, j);
       for (std::size_t k = ri + 1; k < n; ++k) acc -= a(ri, k) * b(k, j);
-      b(ri, j) = acc * inv;
+      b(ri, j) = acc / pivot;
     }
   }
   return b;

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cmath>
+#include <complex>
 
 namespace kibamrm::linalg {
 
@@ -19,49 +20,119 @@ constexpr std::array<double, 14> kPade13 = {
 // machine epsilon.
 constexpr double kTheta13 = 5.371920351148152;
 
+// Norms above this would overflow the cached sixth power (limit ~
+// DBL_MAX^(1/6) ~ 1e51); such matrices are pre-divided by an exact power
+// of two before the powers are formed, and the factor folds back into
+// the per-evaluation scalar -- bitwise equivalent to the classic
+// scale-first formulation, so the power caching costs no domain.
+constexpr double kPowerOverflowLimit = 1e50;
+
+/// Smallest exact power of two bringing `norm` under kPowerOverflowLimit
+/// (1.0 when none is needed).
+inline double prescale_factor(double norm) {
+  if (!(norm > kPowerOverflowLimit)) return 1.0;
+  const int shift =
+      static_cast<int>(std::ceil(std::log2(norm / kPowerOverflowLimit)));
+  return std::ldexp(1.0, shift);
+}
+
+/// exp(s A) from precomputed even powers of A.  Matrix powers scale as
+/// (sA)^k = s^k A^k, so the scaled Pade operands are the cached A^2, A^4,
+/// A^6 times scalar powers of the per-call scaling c = s / 2^squarings --
+/// each evaluation costs three matrix products, one LU solve and the
+/// squaring chain, instead of a fresh expm's six products.
 template <typename Scalar>
-Dense<Scalar> expm_impl(const Dense<Scalar>& a_in) {
-  KIBAMRM_REQUIRE(a_in.rows() == a_in.cols(), "expm: matrix must be square");
-  const std::size_t n = a_in.rows();
+Dense<Scalar> pade13_scaled(const Dense<Scalar>& a, const Dense<Scalar>& a2,
+                            const Dense<Scalar>& a4, const Dense<Scalar>& a6,
+                            double norm, Scalar s) {
+  const std::size_t n = a.rows();
 
-  Dense<Scalar> a = a_in;
   int squarings = 0;
-  const double norm = a.norm1();
-  if (norm > kTheta13) {
-    squarings = static_cast<int>(std::ceil(std::log2(norm / kTheta13)));
-    a = a.scaled(Scalar{1} / Scalar(std::ldexp(1.0, squarings)));
+  const double scaled_norm = std::abs(s) * norm;
+  if (scaled_norm > kTheta13) {
+    squarings = static_cast<int>(std::ceil(std::log2(scaled_norm / kTheta13)));
   }
+  const Scalar c = s / Scalar(std::ldexp(1.0, squarings));
+  const Scalar c2 = c * c;
+  const Scalar c4 = c2 * c2;
+  const Scalar c6 = c2 * c4;
 
-  // Pade-13: U = A (b13 A6^2 + b11 A6 A4? ...) -- use the standard grouping:
-  //   A2 = A^2, A4 = A2^2, A6 = A2 A4
-  //   U = A * (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
-  //   V =      A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
-  //   expm(A) ~= (V - U)^{-1} (V + U)
+  const auto b = [](int i) {
+    return Scalar(kPade13[static_cast<std::size_t>(i)]);
+  };
   const Dense<Scalar> eye = Dense<Scalar>::identity(n);
-  const Dense<Scalar> a2 = a * a;
-  const Dense<Scalar> a4 = a2 * a2;
-  const Dense<Scalar> a6 = a2 * a4;
 
-  const auto b = [](int i) { return Scalar(kPade13[static_cast<std::size_t>(i)]); };
+  // With B = cA: U = B (B6 w1 + w2), V = B6 z1 + w3, where w1/w2/z1/w3 are
+  // the Pade combinations of B2 = c^2 A2 etc.; the scalars fold into the
+  // coefficients so no scaled matrix copies of the powers are needed.
+  // c6 is applied to w1/z1 *before* the product with a6: the products
+  // a6 * w1 and a6 * z1 can overflow for pre-scaled extreme norms (a6 up
+  // to ~1e300 times z1 ~ 1e10), while c6-scaled operands keep every
+  // intermediate bounded by theta-power combinations.
+  const Dense<Scalar> w1 =
+      a6.scaled(b(13) * c6) + a4.scaled(b(11) * c4) + a2.scaled(b(9) * c2);
+  const Dense<Scalar> w2 = a6.scaled(b(7) * c6) + a4.scaled(b(5) * c4) +
+                           a2.scaled(b(3) * c2) + eye.scaled(b(1));
+  const Dense<Scalar> u = (a * (a6 * w1.scaled(c6) + w2)).scaled(c);
 
-  Dense<Scalar> w1 = a6.scaled(b(13)) + a4.scaled(b(11)) + a2.scaled(b(9));
-  Dense<Scalar> w2 =
-      a6.scaled(b(7)) + a4.scaled(b(5)) + a2.scaled(b(3)) + eye.scaled(b(1));
-  Dense<Scalar> u = a * (a6 * w1 + w2);
-
-  Dense<Scalar> z1 = a6.scaled(b(12)) + a4.scaled(b(10)) + a2.scaled(b(8));
-  Dense<Scalar> v =
-      a6 * z1 + a6.scaled(b(6)) + a4.scaled(b(4)) + a2.scaled(b(2)) +
-      eye.scaled(b(0));
+  const Dense<Scalar> z1 =
+      a6.scaled(b(12) * c6) + a4.scaled(b(10) * c4) + a2.scaled(b(8) * c2);
+  const Dense<Scalar> v = a6 * z1.scaled(c6) + a6.scaled(b(6) * c6) +
+                          a4.scaled(b(4) * c4) + a2.scaled(b(2) * c2) +
+                          eye.scaled(b(0));
 
   Dense<Scalar> result = lu_solve(v - u, v + u);
   for (int i = 0; i < squarings; ++i) result = result * result;
   return result;
 }
 
+template <typename Scalar>
+Dense<Scalar> expm_impl(const Dense<Scalar>& a_in) {
+  KIBAMRM_REQUIRE(a_in.rows() == a_in.cols(), "expm: matrix must be square");
+  const double norm = a_in.norm1();
+  const double prescale = prescale_factor(norm);
+  const Dense<Scalar> a =
+      prescale == 1.0 ? a_in : a_in.scaled(Scalar{1} / Scalar(prescale));
+  const Dense<Scalar> a2 = a * a;
+  const Dense<Scalar> a4 = a2 * a2;
+  const Dense<Scalar> a6 = a2 * a4;
+  return pade13_scaled(a, a2, a4, a6, norm / prescale, Scalar(prescale));
+}
+
 }  // namespace
 
 DenseReal expm(const DenseReal& a) { return expm_impl(a); }
 DenseComplex expm(const DenseComplex& a) { return expm_impl(a); }
+
+ScaledExpmCache::ScaledExpmCache(const DenseReal& a) {
+  KIBAMRM_REQUIRE(a.rows() > 0, "ScaledExpmCache: matrix must be non-empty");
+  KIBAMRM_REQUIRE(a.rows() >= a.cols(),
+                  "ScaledExpmCache: matrix must be square or tall "
+                  "(missing trailing columns are zero)");
+  if (a.rows() == a.cols()) {
+    a_ = a;
+  } else {
+    // Embed the tall matrix into the square frame; the padded columns stay
+    // zero (the augmented-Hessenberg layout of the Krylov backend).
+    a_ = DenseReal(a.rows(), a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      for (std::size_t j = 0; j < a.cols(); ++j) a_(i, j) = a(i, j);
+    }
+  }
+  norm_ = a_.norm1();
+  prescale_ = prescale_factor(norm_);
+  if (prescale_ != 1.0) {
+    a_ = a_.scaled(1.0 / prescale_);
+    norm_ /= prescale_;
+  }
+  a2_ = a_ * a_;
+  a4_ = a2_ * a2_;
+  a6_ = a2_ * a4_;
+}
+
+DenseReal ScaledExpmCache::expm(double s) const {
+  ++evaluations_;
+  return pade13_scaled(a_, a2_, a4_, a6_, norm_, s * prescale_);
+}
 
 }  // namespace kibamrm::linalg

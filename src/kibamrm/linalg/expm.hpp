@@ -6,7 +6,15 @@
 // complex variant because the exact battery-lifetime solver evaluates
 // exp(t (Q - s R)) on the Bromwich contour, where s is complex
 // (see core/exact_c1.hpp).
+//
+// ScaledExpmCache evaluates exp(s A) for one fixed A and many scalars s:
+// the even Pade powers A^2, A^4, A^6 are computed once and rescaled per
+// call ((sA)^2k == s^2k A^2k), so repeated evaluations -- the Krylov
+// backend re-exponentiating one Hessenberg matrix across trial sub-steps
+// -- skip the three dominant matrix products of a fresh expm.
 #pragma once
+
+#include <cstdint>
 
 #include "kibamrm/linalg/dense_matrix.hpp"
 
@@ -17,5 +25,44 @@ DenseReal expm(const DenseReal& a);
 
 /// exp(A) for a complex square matrix.
 DenseComplex expm(const DenseComplex& a);
+
+/// Evaluates exp(s A) for a fixed small matrix A and varying scalars s.
+///
+/// The degree-13 Pade approximant needs A^2, A^4 and A^6; because matrix
+/// powers scale as (sA)^k = s^k A^k, those three products are cached at
+/// construction and every evaluation only assembles the Pade numerator /
+/// denominator (two products + one LU solve) plus the squaring chain.
+///
+/// A may be non-square with rows() >= cols(): the missing trailing columns
+/// are taken as zero and A is embedded into the rows() x rows() frame.
+/// This is the shape the Krylov backend's augmented Arnoldi Hessenberg
+/// matrix arrives in -- its final column (the error-estimate chain e_{m+2})
+/// is structurally zero and need not be materialised by the caller.
+class ScaledExpmCache {
+ public:
+  /// Caches the Pade powers of A (zero-padded square if rows > cols).
+  /// Throws InvalidArgument if rows() < cols() or A is empty.
+  explicit ScaledExpmCache(const DenseReal& a);
+
+  /// exp(s A), accurate to the Pade-13 approximant for any s (the matrix
+  /// is rescaled until ||s A|| is below the Higham theta, then squared
+  /// back up).
+  DenseReal expm(double s) const;
+
+  /// Side of the square embedding (== rows() of the input).
+  std::size_t dimension() const { return a_.rows(); }
+
+  /// Exponentials evaluated so far (cost counter for BackendStats).
+  std::uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  DenseReal a_;   // square embedding of the input, pre-divided by prescale_
+  DenseReal a2_;  // A^2
+  DenseReal a4_;  // A^4
+  DenseReal a6_;  // A^6
+  double norm_ = 0.0;      // ||A||_1 of the (prescaled) embedding
+  double prescale_ = 1.0;  // exact power of two keeping A^6 representable
+  mutable std::uint64_t evaluations_ = 0;
+};
 
 }  // namespace kibamrm::linalg

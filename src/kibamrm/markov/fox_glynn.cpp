@@ -25,16 +25,24 @@ double poisson_pmf(double lambda, std::uint64_t n) {
   return std::exp(log_p);
 }
 
-double poisson_tail(double lambda, std::uint64_t n) {
+double poisson_tail(double lambda, std::uint64_t n, double epsilon) {
   KIBAMRM_REQUIRE(lambda >= 0.0, "poisson_tail: lambda must be >= 0");
   if (n == 0) return 1.0;
   if (lambda == 0.0) return 0.0;
-  // Sum the smaller side for accuracy; the window covers everything else.
-  const PoissonWindow window = fox_glynn(lambda, 1e-16);
+  // The Erlang validation sweeps evaluate many thresholds n at one lambda;
+  // a per-thread plan cache turns the repeated Fox-Glynn recursion into
+  // one window per (lambda, epsilon).  thread_local keeps the fast path
+  // lock-free under the batched solvers.  Lambda matching is *exact*
+  // (slack 0): the tail is lambda-sensitive at the pmf scale, so the
+  // grid-reuse slack of the transient solvers would hand back a
+  // neighbouring lambda's tail, far outside the requested epsilon.
+  static thread_local UniformizationPlan windows(16, 0.0);
+  const std::shared_ptr<const PoissonWindow> window =
+      windows.window(lambda, epsilon);
   double below = 0.0;  // Pr{N < n}
   double above = 0.0;  // Pr{N >= n}
-  for (std::uint64_t m = window.left; m <= window.right; ++m) {
-    const double w = window.weight(m);
+  for (std::uint64_t m = window->left; m <= window->right; ++m) {
+    const double w = window->weight(m);
     if (m < n) {
       below += w;
     } else {
@@ -112,22 +120,31 @@ PoissonWindow fox_glynn(double lambda, double epsilon) {
   return window;
 }
 
-UniformizationPlan::UniformizationPlan(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+UniformizationPlan::UniformizationPlan(std::size_t capacity,
+                                       double lambda_slack)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      lambda_slack_(lambda_slack) {
+  KIBAMRM_REQUIRE(lambda_slack_ >= 0.0,
+                  "UniformizationPlan: lambda slack must be >= 0");
+}
 
-const PoissonWindow& UniformizationPlan::window(double lambda,
-                                                double epsilon) {
+std::shared_ptr<const PoissonWindow> UniformizationPlan::window(
+    double lambda, double epsilon) {
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->epsilon == epsilon &&
         std::abs(it->lambda - lambda) <=
-            1e-9 * std::max(1.0, std::abs(it->lambda))) {
+            lambda_slack_ * std::max(1.0, std::abs(it->lambda))) {
       ++reused_;
       entries_.splice(entries_.begin(), entries_, it);  // move to MRU slot
       return entries_.front().window;
     }
   }
   ++computed_;
-  entries_.push_front({lambda, epsilon, fox_glynn(lambda, epsilon)});
+  // shared ownership pins the window for callers that outlive the entry:
+  // eviction below (and clear()) only drops the cache's reference.
+  entries_.push_front({lambda, epsilon,
+                       std::make_shared<const PoissonWindow>(
+                           fox_glynn(lambda, epsilon))});
   if (entries_.size() > capacity_) entries_.pop_back();
   return entries_.front().window;
 }

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <vector>
 
 namespace kibamrm::markov {
@@ -57,12 +58,20 @@ PoissonWindow fox_glynn(double lambda, double epsilon);
 /// over many horizons cannot grow the cache without bound.
 class UniformizationPlan {
  public:
-  explicit UniformizationPlan(std::size_t capacity = 16);
+  /// `lambda_slack` is the relative lambda tolerance for cache hits: the
+  /// default suits the transient solvers' uniform grids (see above).
+  /// Pass 0 for exact matching when the consumer's result is sensitive
+  /// to lambda at the epsilon scale (poisson_tail does).
+  explicit UniformizationPlan(std::size_t capacity = 16,
+                              double lambda_slack = 1e-9);
 
   /// The Fox-Glynn window for (lambda, epsilon): cached when one matches,
-  /// computed and inserted otherwise.  The reference stays valid until the
-  /// entry is evicted (at least `capacity` distinct lookups later).
-  const PoissonWindow& window(double lambda, double epsilon);
+  /// computed and inserted otherwise.  The shared_ptr *pins* the window:
+  /// it stays valid for as long as the caller holds it, even after the
+  /// LRU evicts the entry.  (The previous reference-returning API dangled
+  /// as soon as `capacity` distinct lookups pushed the entry out -- a held
+  /// window silently read freed weights.)
+  std::shared_ptr<const PoissonWindow> window(double lambda, double epsilon);
 
   /// Lifetime counters (never reset by eviction); callers that want
   /// per-solve numbers difference them around the solve.
@@ -76,11 +85,12 @@ class UniformizationPlan {
   struct Entry {
     double lambda;
     double epsilon;
-    PoissonWindow window;
+    std::shared_ptr<const PoissonWindow> window;
   };
 
   std::list<Entry> entries_;  // most recently used first
   std::size_t capacity_;
+  double lambda_slack_;
   std::uint64_t computed_ = 0;
   std::uint64_t reused_ = 0;
 };
@@ -91,6 +101,10 @@ double poisson_pmf(double lambda, std::uint64_t n);
 
 /// Upper tail Pr{Poisson(lambda) >= n}.  This equals the Erlang-n CDF at
 /// lambda = rate * t and is used to validate the Erlang workload models.
-double poisson_tail(double lambda, std::uint64_t n);
+/// The truncation window is served from a per-thread UniformizationPlan
+/// (sweeps evaluate many n at one lambda; recomputing the window per call
+/// dominated the cost), at the caller's `epsilon` instead of the previous
+/// hard-coded 1e-16 (still the default).
+double poisson_tail(double lambda, std::uint64_t n, double epsilon = 1e-16);
 
 }  // namespace kibamrm::markov

@@ -142,7 +142,9 @@ std::vector<std::vector<double>> TransientSolver::solve(
     const double dt = times[idx] - current_time;
     if (dt > 0.0) {
       const double lambda = rate_ * dt;
-      const PoissonWindow& window = plan_.window(lambda, options_.epsilon);
+      const std::shared_ptr<const PoissonWindow> window_ptr =
+          plan_.window(lambda, options_.epsilon);
+      const PoissonWindow& window = *window_ptr;
       linalg::fill(accum_, 0.0);
       power_ = current;
       // n = 0 term.

@@ -88,6 +88,32 @@ TEST(CliArgs, PositiveIntRejectsGarbageAndFractions) {
                InvalidArgument);
 }
 
+TEST(CliArgs, NonNegativeIntAcceptsExplicitZero) {
+  // Regression: `--threads 0` is the documented auto-detect sentinel, but
+  // the drivers parsed it with get_positive_int, which threw on the very
+  // value the help text advertises.
+  const CliArgs args = parse({"p", "--threads", "0"});
+  EXPECT_EQ(args.get_nonnegative_int("threads", 1), 0);
+}
+
+TEST(CliArgs, NonNegativeIntAcceptsPositiveAndFallback) {
+  EXPECT_EQ(parse({"p", "--threads", "4"}).get_nonnegative_int("threads", 0),
+            4);
+  EXPECT_EQ(parse({"p"}).get_nonnegative_int("threads", 7), 7);
+}
+
+TEST(CliArgs, NonNegativeIntRejectsNegativeGarbageAndFractions) {
+  EXPECT_THROW(parse({"p", "--threads", "-2"})
+                   .get_nonnegative_int("threads", 1),
+               InvalidArgument);
+  EXPECT_THROW(parse({"p", "--threads", "many"})
+                   .get_nonnegative_int("threads", 1),
+               InvalidArgument);
+  EXPECT_THROW(parse({"p", "--threads", "2.5"})
+                   .get_nonnegative_int("threads", 1),
+               InvalidArgument);
+}
+
 TEST(CliArgs, DoubleListParsing) {
   const CliArgs args = parse({"p", "--delta", "100,50,25,5"});
   const std::vector<double> values = args.get_double_list("delta", {});

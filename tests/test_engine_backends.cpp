@@ -17,7 +17,7 @@
 namespace kibamrm::engine {
 namespace {
 
-const std::vector<std::string> kBuiltins = {"adaptive", "dense",
+const std::vector<std::string> kBuiltins = {"adaptive", "dense", "krylov",
                                             "uniformization"};
 
 // Small, fast single-well model: capacity 60, current 1, rates of order 1.
@@ -48,17 +48,18 @@ TEST(EngineRegistry, BuiltinsRegistered) {
     EXPECT_TRUE(is_backend_name(name)) << name;
     EXPECT_NE(std::find(names.begin(), names.end(), name), names.end());
   }
-  EXPECT_FALSE(is_backend_name("krylov"));
+  EXPECT_FALSE(is_backend_name("sharded"));
 }
 
 TEST(EngineRegistry, UnknownNameThrowsListingChoices) {
   try {
-    make_backend("krylov");
+    make_backend("sharded");
     FAIL() << "expected InvalidArgument";
   } catch (const InvalidArgument& error) {
     const std::string what = error.what();
-    EXPECT_NE(what.find("krylov"), std::string::npos);
+    EXPECT_NE(what.find("sharded"), std::string::npos);
     EXPECT_NE(what.find("uniformization"), std::string::npos);
+    EXPECT_NE(what.find("krylov"), std::string::npos);
   }
 }
 

@@ -255,6 +255,40 @@ TEST(ScenarioBatch, SkipsUnsupportedChainsWithoutAborting) {
   EXPECT_EQ(batch.last_stats().skipped, 1u);
 }
 
+TEST(ScenarioBatch, IsolatesANumericalFailureToItsScenario) {
+  // One poisoned scenario (a 1e11 Hz workload the explicit stepper
+  // instantly underflows on) must not abort the batch: every other
+  // scenario still returns its curve, and the failure is recorded in
+  // place.  Before the `failed` flag, the NumericalError propagated out
+  // of solve_all() and discarded all completed results.
+  const auto times = core::uniform_grid(6000.0, 20000.0, 5);
+  const core::KibamRmModel poisoned(
+      workload::make_onoff_model({.frequency = 1e11, .erlang_k = 1,
+                                  .on_current = 0.96}),
+      {.capacity = 7200.0, .available_fraction = 0.625,
+       .flow_constant = 4.5e-5});
+  std::vector<Scenario> scenarios = {
+      {"mild-a", fig8_kibam(), 450.0, times},
+      {"poisoned", poisoned, 450.0, times},
+      {"mild-b", fig8_kibam(), 300.0, times},
+  };
+  ScenarioBatch batch({.engine = "adaptive", .threads = 2});
+  const auto results = batch.solve_all(scenarios);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].curve.has_value());
+  EXPECT_TRUE(results[2].curve.has_value());
+  EXPECT_FALSE(results[0].failed);
+  EXPECT_FALSE(results[2].failed);
+  EXPECT_TRUE(results[1].failed);
+  EXPECT_FALSE(results[1].curve.has_value());
+  EXPECT_FALSE(results[1].skipped) << "failure is not a by-design skip";
+  EXPECT_NE(results[1].failure_reason.find("step size underflow"),
+            std::string::npos)
+      << results[1].failure_reason;
+  EXPECT_EQ(batch.last_stats().failed, 1u);
+  EXPECT_EQ(batch.last_stats().skipped, 0u);
+}
+
 TEST(ScenarioBatch, RejectsUnknownEngineUpFront) {
   EXPECT_THROW(ScenarioBatch({.engine = "not-an-engine"}), InvalidArgument);
 }

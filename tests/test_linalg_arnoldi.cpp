@@ -1,0 +1,117 @@
+// Tests for the Arnoldi factorisation behind the Krylov backend: the
+// Arnoldi relation, basis orthonormality, and happy breakdowns.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/arnoldi.hpp"
+#include "kibamrm/linalg/dense_matrix.hpp"
+#include "kibamrm/linalg/vector_ops.hpp"
+
+namespace kibamrm::linalg {
+namespace {
+
+/// Deterministic dense test matrix with no special structure (a plain LCG
+/// fill -- trigonometric fills like sin(ai + bj) are secretly low-rank and
+/// break the Krylov space down early).
+DenseReal test_matrix(std::size_t n) {
+  DenseReal a(n, n);
+  std::uint64_t state = 12345;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      a(i, j) = static_cast<double>(state >> 11) /
+                    static_cast<double>(1ULL << 53) -
+                0.5;
+    }
+  }
+  return a;
+}
+
+ArnoldiMatvec dense_matvec(const DenseReal& a) {
+  return [&a](const std::vector<double>& in, std::vector<double>& out) {
+    const std::size_t n = a.rows();
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) acc += a(i, j) * in[j];
+      out[i] = acc;
+    }
+  };
+}
+
+TEST(Arnoldi, RelationAndOrthonormalityHold) {
+  const std::size_t n = 6;
+  const std::size_t m = 4;
+  const DenseReal a = test_matrix(n);
+
+  std::vector<std::vector<double>> basis(m + 1,
+                                         std::vector<double>(n, 0.0));
+  basis[0][0] = 1.0;  // v1 = e_1
+  DenseReal h(m + 1, m);
+  const ArnoldiResult result = arnoldi(dense_matvec(a), basis, h, m, 1e-14);
+  ASSERT_EQ(result.dim, m);
+  EXPECT_FALSE(result.happy_breakdown);
+  EXPECT_EQ(result.matvecs, m);
+
+  // Orthonormal basis: V^T V = I to round-off.
+  for (std::size_t i = 0; i <= m; ++i) {
+    for (std::size_t j = 0; j <= m; ++j) {
+      EXPECT_NEAR(dot(basis[i], basis[j]), i == j ? 1.0 : 0.0, 1e-12)
+          << "i=" << i << " j=" << j;
+    }
+  }
+
+  // Arnoldi relation A v_j = sum_{i <= j+1} h(i,j) v_i, column by column.
+  std::vector<double> av(n, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    dense_matvec(a)(basis[j], av);
+    std::vector<double> reconstructed(n, 0.0);
+    for (std::size_t i = 0; i <= j + 1; ++i) {
+      axpy(h(i, j), basis[i], reconstructed);
+    }
+    EXPECT_LT(linf_distance(av, reconstructed), 1e-12) << "column " << j;
+  }
+}
+
+TEST(Arnoldi, HappyBreakdownOnInvariantSubspace) {
+  // Block-diagonal matrix: starting inside the leading 2x2 block, the
+  // Krylov space closes after two steps no matter how large m is.
+  DenseReal a(5, 5);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = -1.0;
+  for (std::size_t i = 2; i < 5; ++i) a(i, i) = 4.0;
+
+  std::vector<std::vector<double>> basis(6, std::vector<double>(5, 0.0));
+  basis[0][0] = 1.0;
+  DenseReal h(6, 5);
+  const ArnoldiResult result = arnoldi(dense_matvec(a), basis, h, 5, 1e-14);
+  EXPECT_TRUE(result.happy_breakdown);
+  EXPECT_EQ(result.dim, 2u);
+}
+
+TEST(Arnoldi, ImmediateBreakdownOnEigenvector) {
+  const DenseReal a = DenseReal::identity(4).scaled(2.5);
+  std::vector<std::vector<double>> basis(5, std::vector<double>(4, 0.0));
+  basis[0][1] = 1.0;  // every vector is an eigenvector of 2.5 I
+  DenseReal h(5, 4);
+  const ArnoldiResult result = arnoldi(dense_matvec(a), basis, h, 4, 1e-14);
+  EXPECT_TRUE(result.happy_breakdown);
+  EXPECT_EQ(result.dim, 1u);
+  EXPECT_NEAR(h(0, 0), 2.5, 1e-14);
+}
+
+TEST(Arnoldi, RejectsUndersizedArguments) {
+  std::vector<std::vector<double>> basis(2, std::vector<double>(4, 0.0));
+  DenseReal h(3, 2);
+  EXPECT_THROW(arnoldi(dense_matvec(DenseReal::identity(4)), basis, h, 2,
+                       1e-14),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace kibamrm::linalg

@@ -214,5 +214,87 @@ TEST(Expm, RejectsNonSquare) {
   EXPECT_THROW(expm(DenseReal(2, 3)), InvalidArgument);
 }
 
+TEST(ScaledExpmCache, MatchesFreshExpmAcrossScales) {
+  DenseReal a(3, 3);
+  a(0, 0) = -2.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 0.5;
+  a(1, 1) = -1.5;
+  a(1, 2) = 1.0;
+  a(2, 2) = -0.1;
+  const ScaledExpmCache cache(a);
+  // Scales spanning no-squaring, heavy squaring, zero and negative.
+  for (const double s : {0.0, 0.3, 1.0, -2.0, 50.0, 4000.0}) {
+    const DenseReal expected = expm(a.scaled(s));
+    const DenseReal actual = cache.expm(s);
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_NEAR(actual(i, j), expected(i, j),
+                    1e-13 * std::max(1.0, std::abs(expected(i, j))))
+            << "s=" << s << " (" << i << "," << j << ")";
+      }
+    }
+  }
+  EXPECT_EQ(cache.evaluations(), 6u);
+  EXPECT_EQ(cache.dimension(), 3u);
+}
+
+TEST(ScaledExpmCache, TallMatrixPadsZeroColumns) {
+  // The Krylov backend's augmented Hessenberg arrives as (m+2) x (m+1):
+  // its implied final column is zero.  Padding must reproduce the
+  // explicit square embedding exactly.
+  DenseReal tall(4, 3);
+  tall(0, 0) = -1.0;
+  tall(0, 1) = 0.7;
+  tall(1, 0) = 0.4;
+  tall(1, 1) = -0.9;
+  tall(2, 1) = 0.3;  // the h_{m+1,m} row
+  tall(3, 2) = 1.0;  // the error-estimate chain entry
+  DenseReal square(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) square(i, j) = tall(i, j);
+  }
+  const ScaledExpmCache cache(tall);
+  const DenseReal expected = ScaledExpmCache(square).expm(2.5);
+  const DenseReal actual = cache.expm(2.5);
+  ASSERT_EQ(cache.dimension(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(actual(i, j), expected(i, j));
+    }
+  }
+}
+
+TEST(ScaledExpmCache, SurvivesExtremeNorms) {
+  // ||A||_1 = 2e60 would overflow A^6 if the powers were formed naively;
+  // the exact power-of-two prescale restores the scale-first domain.
+  // exp([[-q, q], [0, 0]]) = [[e^-q, 1 - e^-q], [0, 1]].
+  DenseReal a(2, 2);
+  a(0, 0) = -1e60;
+  a(0, 1) = 1e60;
+  const ScaledExpmCache cache(a);
+  const DenseReal at_one = cache.expm(1.0);
+  EXPECT_NEAR(at_one(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(at_one(0, 1), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(at_one(1, 1), 1.0);
+  // A tiny scalar lands back in the mild regime and must agree with the
+  // plain expm of the equivalent small matrix.
+  const DenseReal small = expm(a.scaled(1e-60));
+  const DenseReal at_tiny = cache.expm(1e-60);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(at_tiny(i, j), small(i, j), 1e-12) << i << "," << j;
+    }
+  }
+  // And the free-function expm survives the same norm directly.
+  const DenseReal direct = expm(a);
+  EXPECT_NEAR(direct(0, 1), 1.0, 1e-9);
+}
+
+TEST(ScaledExpmCache, RejectsWideOrEmptyMatrices) {
+  EXPECT_THROW(ScaledExpmCache(DenseReal(2, 3)), InvalidArgument);
+  EXPECT_THROW(ScaledExpmCache(DenseReal(0, 0)), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace kibamrm::linalg

@@ -123,12 +123,31 @@ TEST(PoissonTail, MedianOfLargeLambdaNearHalf) {
 
 TEST(UniformizationPlan, CachesIdenticalLookups) {
   UniformizationPlan plan;
-  const PoissonWindow& first = plan.window(120.0, 1e-10);
-  const PoissonWindow& again = plan.window(120.0, 1e-10);
-  EXPECT_EQ(&first, &again);  // same cached entry, not a recomputation
+  const auto first = plan.window(120.0, 1e-10);
+  const auto again = plan.window(120.0, 1e-10);
+  EXPECT_EQ(first.get(), again.get());  // same cached entry, no recompute
   EXPECT_EQ(plan.windows_computed(), 1u);
   EXPECT_EQ(plan.windows_reused(), 1u);
   EXPECT_EQ(plan.cached_windows(), 1u);
+}
+
+TEST(UniformizationPlan, HeldWindowSurvivesEviction) {
+  // Regression: window() used to return a reference into the LRU list; a
+  // caller holding the window across `capacity` distinct lookups read
+  // freed memory once its entry was evicted (ASan: heap-use-after-free).
+  // The shared_ptr pins the window through any amount of cache churn.
+  UniformizationPlan plan(2);
+  const auto held = plan.window(40.0, 1e-10);
+  const PoissonWindow expected = fox_glynn(40.0, 1e-10);
+  // Fill the cache far past capacity with distinct lambdas.
+  for (double lambda = 100.0; lambda < 2000.0; lambda += 100.0) {
+    plan.window(lambda, 1e-10);
+  }
+  EXPECT_EQ(plan.cached_windows(), 2u);  // 40.0 is long gone from the LRU
+  ASSERT_EQ(held->weights.size(), expected.weights.size());
+  EXPECT_EQ(held->left, expected.left);
+  EXPECT_EQ(held->right, expected.right);
+  EXPECT_EQ(held->weights, expected.weights);  // reads every held weight
 }
 
 TEST(UniformizationPlan, UlpPerturbedLambdaHitsTheCache) {
@@ -166,11 +185,33 @@ TEST(UniformizationPlan, EvictsLeastRecentlyUsedAtCapacity) {
 
 TEST(UniformizationPlan, CachedWindowMatchesDirectComputation) {
   UniformizationPlan plan;
-  const PoissonWindow& cached = plan.window(500.0, 1e-11);
+  const auto cached = plan.window(500.0, 1e-11);
   const PoissonWindow direct = fox_glynn(500.0, 1e-11);
-  EXPECT_EQ(cached.left, direct.left);
-  EXPECT_EQ(cached.right, direct.right);
-  EXPECT_EQ(cached.weights, direct.weights);
+  EXPECT_EQ(cached->left, direct.left);
+  EXPECT_EQ(cached->right, direct.right);
+  EXPECT_EQ(cached->weights, direct.weights);
+}
+
+TEST(PoissonTail, PerturbedLambdaIsNotServedFromTheCache) {
+  // The tail cache matches lambda *exactly*: the transient solvers'
+  // 1e-9-relative grid slack would hand a perturbed lambda the cached
+  // neighbour's tail, wrong by ~pmf(mode) * dlambda ~ 2e-7 here -- nine
+  // decades above the advertised accuracy.
+  const double lambda = 1e6;
+  const double a = poisson_tail(lambda, 1000000);
+  const double b = poisson_tail(lambda * (1.0 + 5e-10), 1000000);
+  EXPECT_NE(a, b);
+  EXPECT_NEAR(a, b, 1e-6);  // ...while the true tails are this close
+}
+
+TEST(PoissonTail, HonoursCallerEpsilon) {
+  // A loose window is allowed to be off by ~epsilon, no more; the default
+  // stays at the historical 1e-16.
+  const double tight = poisson_tail(50.0, 55);
+  const double loose = poisson_tail(50.0, 55, 1e-4);
+  EXPECT_NEAR(loose, tight, 1e-4);
+  EXPECT_NE(loose, tight);  // the window genuinely changed
+  EXPECT_DOUBLE_EQ(poisson_tail(50.0, 55, 1e-16), tight);
 }
 
 }  // namespace

@@ -49,8 +49,10 @@ void sweep(const core::KibamRmModel& model, const std::vector<double>& deltas,
 int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   args.declare("csv").declare("full").declare("engine").declare("json")
-      .declare("threads").declare("no-fuse").declare("no-detect");
+      .declare("threads").declare("no-fuse").declare("no-detect")
+      .declare("kernels");
   args.validate();
+  bench::apply_kernel_choice(args);
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());
   const auto threads =

@@ -12,6 +12,10 @@
 //   --no-fuse       run the pre-fusion baseline uniformisation loop (the
 //                   measured reference of the CI fused-speedup gate)
 //   --no-detect     disable steady-state early termination
+//   --kernels T     pin the vector-kernel tier: scalar | avx2 | auto
+//                   (default auto = CPUID; results are bitwise identical
+//                   across tiers, the pin is for measurement and for
+//                   sanitizer runs)
 #pragma once
 
 #include <chrono>
@@ -32,8 +36,27 @@
 #include "kibamrm/core/lifetime_distribution.hpp"
 #include "kibamrm/engine/scenario_batch.hpp"
 #include "kibamrm/io/table.hpp"
+#include "kibamrm/linalg/kernels.hpp"
 
 namespace kibamrm::bench {
+
+/// The --kernels choice, validated; "auto" when absent.
+inline std::string kernel_choice(const common::CliArgs& args) {
+  return args.get_choice("kernels", "auto", {"auto", "scalar", "avx2"});
+}
+
+/// Applies --kernels to the process-global dispatch immediately (so even
+/// code paths that never see an options struct -- simulators, direct
+/// TransientSolver users -- run the requested tier).
+inline void apply_kernel_choice(const common::CliArgs& args) {
+  linalg::kernels::apply_dispatch(kernel_choice(args));
+}
+
+/// Tier the kernels actually run, for the "kernels" record field.
+inline std::string active_kernel_name() {
+  return std::string(
+      linalg::kernels::dispatch_name(linalg::kernels::active_dispatch()));
+}
 
 /// Prints one table and optionally mirrors it to CSV.
 inline void emit(const io::Table& table, const common::CliArgs& args,
@@ -159,12 +182,14 @@ inline void apply_engine_tuning(const common::CliArgs& args,
                                 core::ApproximationOptions& options) {
   options.fused_kernels = !args.has("no-fuse");
   options.steady_state_detection = !args.has("no-detect");
+  options.kernel_dispatch = kernel_choice(args);
 }
 
 inline void apply_engine_tuning(const common::CliArgs& args,
                                 engine::ScenarioBatchOptions& options) {
   options.fused_kernels = !args.has("no-fuse");
   options.steady_state_detection = !args.has("no-detect");
+  options.kernel_dispatch = kernel_choice(args);
 }
 
 /// One engine-backed approximation solve for the sweep drivers: constructs
@@ -223,6 +248,7 @@ inline BenchRecord& add_engine_record(BenchReport& report,
                                       const EngineRun& run, double delta) {
   return report.add_record()
       .field("engine", run.stats.engine)
+      .field("kernels", active_kernel_name())
       .field("delta", delta)
       .field("states", run.stats.expanded_states)
       .field("nonzeros", run.stats.generator_nonzeros)
@@ -233,6 +259,7 @@ inline BenchRecord& add_engine_record(BenchReport& report,
       .field("krylov_dim", run.stats.krylov_dim)
       .field("substeps", run.stats.substeps)
       .field("hessenberg_expms", run.stats.hessenberg_expms)
+      .field("krylov_ortho_work", run.stats.krylov_ortho_work)
       .field("spmv_throughput", spmv_throughput(run.stats, run.wall_seconds))
       .field("wall_seconds", run.wall_seconds);
 }
@@ -245,6 +272,7 @@ inline BenchRecord& add_scenario_record(BenchReport& report,
                                         double delta) {
   return report.add_record()
       .field("engine", result.stats.engine)
+      .field("kernels", active_kernel_name())
       .field("scenario", result.label)
       .field("delta", delta)
       .field("states", result.stats.expanded_states)
@@ -256,6 +284,7 @@ inline BenchRecord& add_scenario_record(BenchReport& report,
       .field("krylov_dim", result.stats.krylov_dim)
       .field("substeps", result.stats.substeps)
       .field("hessenberg_expms", result.stats.hessenberg_expms)
+      .field("krylov_ortho_work", result.stats.krylov_ortho_work)
       .field("spmv_throughput",
              spmv_throughput(result.stats, result.wall_seconds))
       .field("wall_seconds", result.wall_seconds);

@@ -25,8 +25,10 @@ int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   args.declare("csv").declare("full").declare("points").declare("delta")
       .declare("runs").declare("engine").declare("json").declare("threads")
-      .declare("batch").declare("no-fuse").declare("no-detect");
+      .declare("batch").declare("no-fuse").declare("no-detect")
+      .declare("kernels");
   args.validate();
+  bench::apply_kernel_choice(args);
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());
   const auto threads =

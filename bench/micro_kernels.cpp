@@ -6,14 +6,18 @@
 // transient solves (fused vs baseline), and expanded-chain construction.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <complex>
+#include <random>
 #include <vector>
 
+#include "kibamrm/common/thread_pool.hpp"
 #include "kibamrm/core/expanded_ctmc.hpp"
 #include "kibamrm/core/exact_c1.hpp"
 #include "kibamrm/linalg/csr_matrix.hpp"
 #include "kibamrm/linalg/expm.hpp"
 #include "kibamrm/linalg/fused_gather.hpp"
+#include "kibamrm/linalg/kernels.hpp"
 #include "kibamrm/markov/fox_glynn.hpp"
 #include "kibamrm/markov/uniformization.hpp"
 #include "kibamrm/workload/onoff_model.hpp"
@@ -41,6 +45,134 @@ linalg::CsrMatrix banded_stochastic(std::size_t n) {
   }
   return builder.build();
 }
+
+// --------------------------------------------------------------------
+// Dispatched kernel layer (linalg/kernels): dot/axpy/nrm2 and the fused
+// gather, scalar vs AVX2 vs pool-sharded.  The second benchmark argument
+// selects the tier (0 = scalar, 1 = avx2); SIMD rows are skipped on CPUs
+// without AVX2+FMA.  Results are bitwise identical across rows -- these
+// benches measure the cost of the contract, not different arithmetic.
+
+namespace k = linalg::kernels;
+
+bool select_tier(benchmark::State& state) {
+  const bool avx2 = state.range(1) == 1;
+  if (avx2 && k::detected_dispatch() != k::Dispatch::kAvx2) {
+    state.SkipWithError("CPU lacks AVX2+FMA");
+    return false;
+  }
+  k::set_dispatch(avx2 ? k::Dispatch::kAvx2 : k::Dispatch::kScalar);
+  return true;
+}
+
+std::vector<double> random_doubles(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uniform(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = uniform(rng);
+  return v;
+}
+
+void BM_KernelDot(benchmark::State& state) {
+  if (!select_tier(state)) return;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_doubles(n, 1);
+  const auto b = random_doubles(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k::dot(a.data(), b.data(), n));
+  }
+  k::clear_dispatch();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * sizeof(double)));
+}
+BENCHMARK(BM_KernelDot)
+    ->Args({4096, 0})->Args({4096, 1})
+    ->Args({262144, 0})->Args({262144, 1})
+    ->Args({2097152, 0})->Args({2097152, 1});
+
+void BM_KernelNrm2(benchmark::State& state) {
+  if (!select_tier(state)) return;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto v = random_doubles(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k::nrm2(v.data(), n));
+  }
+  k::clear_dispatch();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(double)));
+}
+BENCHMARK(BM_KernelNrm2)->Args({262144, 0})->Args({262144, 1});
+
+void BM_KernelAxpy(benchmark::State& state) {
+  if (!select_tier(state)) return;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_doubles(n, 4);
+  auto y = random_doubles(n, 5);
+  for (auto _ : state) {
+    k::axpy(1e-3, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  k::clear_dispatch();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(3 * n * sizeof(double)));
+}
+BENCHMARK(BM_KernelAxpy)
+    ->Args({4096, 0})->Args({4096, 1})
+    ->Args({262144, 0})->Args({262144, 1});
+
+void BM_KernelDotSharded(benchmark::State& state) {
+  // The sharded reduction exactly as linalg::arnoldi drives it: block
+  // partials filled over pool shards, one pairwise reduce -- bitwise
+  // equal to the single-thread dot at every lane count (range(1) =
+  // pool lanes).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  common::ThreadPool pool(lanes);
+  const auto a = random_doubles(n, 6);
+  const auto b = random_doubles(n, 7);
+  const std::size_t blocks = k::block_count(n);
+  std::vector<double> partials(blocks, 0.0);
+  const std::size_t shards = std::min(blocks, 4 * pool.thread_count());
+  for (auto _ : state) {
+    pool.parallel_for(shards, [&](std::size_t s, std::size_t /*lane*/) {
+      k::dot_blocks(a.data(), b.data(), n, blocks * s / shards,
+                    blocks * (s + 1) / shards, partials.data());
+    });
+    benchmark::DoNotOptimize(k::reduce_pairwise(partials.data(), blocks));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * sizeof(double)));
+}
+BENCHMARK(BM_KernelDotSharded)
+    ->Args({2097152, 1})->Args({2097152, 2})->Args({2097152, 4});
+
+void BM_FusedGatherPlanKernelTier(benchmark::State& state) {
+  // The fused gather through an explicit tier pin (the unsuffixed
+  // BM_FusedGatherPlanKernel below runs the production default): scalar
+  // per-length switch vs the opt-in AVX2 row-group gathers, same bits
+  // out.  This bench is why the grouping defaults off -- watch it per
+  // microarchitecture before flipping kernels::set_gather_grouping.
+  if (!select_tier(state)) return;
+  k::set_gather_grouping(state.range(1) == 1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::CsrMatrix pt = banded_stochastic(n).transposed();
+  const auto plan = linalg::FusedGatherPlan::build(pt);
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> out(n, 0.0);
+  std::vector<double> accum(n, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        plan->multiply_fused_range(pi, out, accum, 1e-4, 0, n));
+    pi.swap(out);
+  }
+  k::clear_dispatch();
+  k::set_gather_grouping(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(plan->nonzeros()));
+}
+BENCHMARK(BM_FusedGatherPlanKernelTier)
+    ->Args({100000, 0})->Args({100000, 1})
+    ->Args({1000000, 0})->Args({1000000, 1});
 
 void BM_CsrLeftMultiply(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

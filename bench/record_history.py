@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Append one run's BENCH_*.json records to the queryable perf history.
+
+The bench drivers and the CI perf job each produce a pile of
+BENCH_<name>.json files (engine records) plus the micro_kernels
+google-benchmark JSON.  This script folds them into ONE line of
+bench/history/history.jsonl -- a run record keyed by commit and
+timestamp -- so the perf trajectory of the repository accumulates
+across PRs in a form one `jq`/pandas line can query, instead of being
+buried in per-run CI artifact zips.
+
+Usage:
+  record_history.py record [--dir BUILD_DIR] [--label TEXT]
+                           [--history PATH] [--commit SHA]
+  record_history.py show   [--history PATH] [--metric wall_seconds]
+
+`record` scans BUILD_DIR (default: ./build next to the repo root) for
+BENCH_*.json, keeps the informative fields, and appends one JSON line.
+`show` prints a per-run summary of the recorded fig8 wall times --
+the quick "did that PR move the needle" view.
+"""
+
+import argparse
+import datetime
+import glob
+import json
+import os
+import subprocess
+import sys
+
+SCRIPT_DIR = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_HISTORY = os.path.join(SCRIPT_DIR, "history", "history.jsonl")
+
+# google-benchmark emits many repetitions/aggregates; keep the fields a
+# trajectory query actually consumes.
+MICRO_FIELDS = ("name", "real_time", "cpu_time", "time_unit",
+                "bytes_per_second", "items_per_second")
+
+
+def git_commit():
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=SCRIPT_DIR, text=True).strip()
+    except (subprocess.CalledProcessError, OSError):
+        return "unknown"
+
+
+def collect(build_dir):
+    benches = {}
+    micro = []
+    for path in sorted(glob.glob(os.path.join(build_dir, "BENCH_*.json"))):
+        with open(path) as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as error:
+                print(f"[history] skipping unparsable {path}: {error}",
+                      file=sys.stderr)
+                continue
+        name = os.path.basename(path)
+        if "records" in data:
+            benches[name] = data["records"]
+        elif "benchmarks" in data:
+            micro.extend(
+                {field: row[field] for field in MICRO_FIELDS if field in row}
+                for row in data["benchmarks"])
+        else:
+            print(f"[history] skipping {path}: unknown schema",
+                  file=sys.stderr)
+    return benches, micro
+
+
+def cmd_record(args):
+    benches, micro = collect(args.dir)
+    if not benches and not micro:
+        raise SystemExit(f"no BENCH_*.json found under {args.dir}")
+    run = {
+        "schema": 1,
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "commit": args.commit or git_commit(),
+        "label": args.label,
+        "benches": benches,
+        "micro_kernels": micro,
+    }
+    os.makedirs(os.path.dirname(args.history), exist_ok=True)
+    with open(args.history, "a") as handle:
+        handle.write(json.dumps(run, sort_keys=True) + "\n")
+    records = sum(len(v) for v in benches.values())
+    print(f"[history] appended run {run['commit']} "
+          f"({records} records, {len(micro)} micro rows) -> {args.history}")
+
+
+def cmd_show(args):
+    if not os.path.exists(args.history):
+        raise SystemExit(f"no history at {args.history}")
+    with open(args.history) as handle:
+        for line in handle:
+            run = json.loads(line)
+            summary = []
+            for name, records in sorted(run.get("benches", {}).items()):
+                for record in records:
+                    if "states" not in record or "engine" not in record:
+                        continue
+                    value = record.get(args.metric)
+                    if value is None:
+                        continue
+                    summary.append(
+                        f"{record['engine']}@{record.get('delta', '?')}"
+                        f"[{record.get('threads', 1)}t]"
+                        f"={value:.2f}" if isinstance(value, float)
+                        else f"{record['engine']}={value}")
+            label = f" {run['label']}" if run.get("label") else ""
+            print(f"{run['recorded_at']} {run['commit']}{label}: "
+                  + " ".join(summary))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    record = sub.add_parser("record")
+    record.add_argument("--dir", default=os.path.join(
+        os.path.dirname(SCRIPT_DIR), "build"))
+    record.add_argument("--label", default="")
+    record.add_argument("--history", default=DEFAULT_HISTORY)
+    record.add_argument("--commit", default="")
+    show = sub.add_parser("show")
+    show.add_argument("--history", default=DEFAULT_HISTORY)
+    show.add_argument("--metric", default="wall_seconds")
+    args = parser.parse_args()
+    if args.command == "show":
+        cmd_show(args)
+    else:
+        cmd_record(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

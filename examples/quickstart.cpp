@@ -8,7 +8,7 @@
 //
 // Build & run:
 //   ./examples/quickstart [--engine uniformization|adaptive|dense|parallel]
-//                         [--threads N]
+//                         [--threads N] [--kernels auto|scalar|avx2]
 //
 // The engine flag swaps the transient solver behind the approximation; all
 // engines agree within solver tolerance (see tests/test_engine_backends).
@@ -30,8 +30,10 @@ int main(int argc, char** argv) {
 
   common::CliArgs args(argc, argv);
   args.declare("engine").declare("delta").declare("threads")
-      .declare("no-fuse").declare("no-detect");
+      .declare("no-fuse").declare("no-detect").declare("kernels");
   args.validate();
+  const std::string kernels =
+      args.get_choice("kernels", "auto", {"auto", "scalar", "avx2"});
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());
   const auto threads =
@@ -65,7 +67,11 @@ int main(int argc, char** argv) {
               // default and --no-fuse / --no-detect switch back to the
               // baseline loop for A/B comparisons.
               .fused_kernels = !args.has("no-fuse"),
-              .steady_state_detection = !args.has("no-detect")});
+              .steady_state_detection = !args.has("no-detect"),
+              // --kernels pins the runtime-dispatched vector tier (the
+              // result is bitwise identical either way; scalar is the
+              // sanitizer-CI escape hatch).
+              .kernel_dispatch = kernels});
   const core::LifetimeCurve curve = solver.solve(times);
 
   // Monte-Carlo cross-check (1000 runs).

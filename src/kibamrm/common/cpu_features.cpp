@@ -1,0 +1,18 @@
+#include "kibamrm/common/cpu_features.hpp"
+
+namespace kibamrm::common {
+
+bool cpu_has_avx2_fma() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports caches the CPUID probe inside libgcc/compiler-rt;
+  // the static just avoids re-entering it on every kernel call.
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+}  // namespace kibamrm::common

@@ -1,0 +1,16 @@
+// Runtime CPU feature detection for the dispatched kernel layer.
+//
+// The library ships one binary per platform, not one per microarchitecture;
+// linalg/kernels picks its implementation tier at runtime from these bits.
+// Only the features a kernel tier actually gates on are exposed -- today
+// that is the AVX2+FMA class (the x86-64-v3 vector baseline the SIMD
+// gather and reduction kernels require).
+#pragma once
+
+namespace kibamrm::common {
+
+/// True iff the executing CPU reports both AVX2 and FMA.  Always false on
+/// non-x86 builds.  The result is computed once and cached.
+bool cpu_has_avx2_fma();
+
+}  // namespace kibamrm::common

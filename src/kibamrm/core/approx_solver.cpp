@@ -18,7 +18,8 @@ MarkovianApproximation::MarkovianApproximation(const KibamRmModel& model,
            // distribution copy per time point.
            .collect_distributions = false,
            .fused_kernels = options_.fused_kernels,
-           .steady_state_detection = options_.steady_state_detection})) {
+           .steady_state_detection = options_.steady_state_detection,
+           .kernel_dispatch = options_.kernel_dispatch})) {
   stats_.expanded_states = expanded_.grid.state_count();
   stats_.generator_nonzeros = expanded_.chain.generator().nonzeros();
   stats_.engine = options_.engine;
@@ -43,6 +44,7 @@ void absorb_backend_stats(ApproximationStats& stats,
   stats.krylov_dim = backend.krylov_dim;
   stats.substeps = backend.substeps;
   stats.hessenberg_expms = backend.hessenberg_expms;
+  stats.krylov_ortho_work = backend.krylov_ortho_work;
 }
 
 LifetimeCurve solve_empty_probability_curve(const ExpandedChain& expanded,

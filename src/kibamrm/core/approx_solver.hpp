@@ -42,6 +42,10 @@ struct ApproximationOptions {
   /// Steady-state / absorption early termination inside each Poisson
   /// window (uniformisation engines; requires fused_kernels).
   bool steady_state_detection = true;
+  /// Vector-kernel tier pin ("auto" / "scalar" / "avx2"), forwarded to
+  /// engine::BackendOptions::kernel_dispatch (process-global; results are
+  /// bitwise identical across tiers).
+  std::string kernel_dispatch = "auto";
 };
 
 /// Cost/shape diagnostics of one approximation run.
@@ -69,11 +73,13 @@ struct ApproximationStats {
   std::uint64_t active_states = 0;
   std::uint64_t active_nonzeros = 0;
   /// Krylov engine: largest Arnoldi subspace dimension used, accepted
-  /// adaptive sub-steps, and small Hessenberg exponentials evaluated
-  /// (including rejected trials); 0 for other engines.
+  /// adaptive sub-steps, small Hessenberg exponentials evaluated
+  /// (including rejected trials), and the summed dim^2 orthogonalisation
+  /// work (in units of the state count); 0 for other engines.
   std::uint64_t krylov_dim = 0;
   std::uint64_t substeps = 0;
   std::uint64_t hessenberg_expms = 0;
+  std::uint64_t krylov_ortho_work = 0;
 };
 
 /// Copies the per-solve cost counters of a backend into the

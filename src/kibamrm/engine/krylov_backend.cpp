@@ -9,6 +9,7 @@
 #include "kibamrm/common/error.hpp"
 #include "kibamrm/linalg/arnoldi.hpp"
 #include "kibamrm/linalg/expm.hpp"
+#include "kibamrm/linalg/kernels.hpp"
 #include "kibamrm/linalg/vector_ops.hpp"
 
 namespace kibamrm::engine {
@@ -31,8 +32,17 @@ constexpr std::size_t kMaxRejections = 60;
 // means exp(tau H) diverged and the step must shrink instead.
 constexpr double kMassBlowup = 1e-3;
 
+// Adaptive-dimension floor: below four Krylov vectors the a-posteriori
+// estimate loses its second-order term and the controller flails.
+constexpr std::size_t kMinKrylovDim = 4;
+// Grow/shrink quantum: a quarter of the current dimension (at least two),
+// with shrinks gated on two consecutive steps of order-of-magnitude
+// error-budget slack so one benign step cannot trigger a resize.
+std::size_t dim_step(std::size_t m) { return std::max<std::size_t>(2, m / 4); }
+constexpr double kSlackFraction = 0.01;
+
 double l2_norm(const std::vector<double>& v) {
-  return std::sqrt(linalg::dot(v, v));
+  return linalg::kernels::nrm2(v.data(), v.size());
 }
 
 }  // namespace
@@ -61,12 +71,37 @@ std::vector<std::vector<double>> KrylovBackend::solve(
   // disjoint row ranges write disjoint outputs and the pool shard is
   // bitwise independent of the partition (same argument as the parallel
   // uniformisation backend).
-  const linalg::CsrMatrix qt = chain.generator().transposed();
+  //
+  // Like the fused uniformisation engines, the whole solve runs in the
+  // reachable closure of the initial support: probability mass can never
+  // leave it, so restricting Q^T to closure x closure is exact -- and
+  // the expanded battery chains reach only about half their states from
+  // the standard full-charge start, which halves every matvec AND every
+  // m^2 n orthogonalisation sweep.  The closure is thread-independent,
+  // so the bitwise-determinism guarantee is untouched.
+  std::vector<std::uint32_t> seeds;
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    if (initial[i] != 0.0) seeds.push_back(static_cast<std::uint32_t>(i));
+  }
+  const std::vector<std::uint32_t> reachable =
+      chain.generator().reachable_rows(seeds);
+  const bool compacted = reachable.size() < chain.state_count();
+  const linalg::CsrMatrix qt =
+      compacted ? chain.generator().transposed_submatrix(reachable)
+                : chain.generator().transposed();
   const std::size_t n = qt.rows();
+  stats_.active_states = n;
+  stats_.active_nonzeros = qt.nonzeros();
   // ||Q^T||_1 = max_i sum_j |Q(i,j)| = 2 max_i exit_rate(i), exactly, for
   // a generator: the scale of the step-size heuristics.
   const double anorm = 2.0 * chain.max_exit_rate();
-  const std::size_t m = std::min<std::size_t>(options_.krylov_dim, n);
+  m_cap_ = std::min<std::size_t>(options_.krylov_dim, n);
+  m_floor_ = std::min(kMinKrylovDim, m_cap_);
+  // Each solve starts at the cap (the fixed-m behaviour) and earns its
+  // way down; the learned dimension persists across the increments of
+  // this solve, like the controller step.
+  current_m_ = m_cap_;
+  slack_streak_ = 0;
 
   const GatherShardPlan shards =
       plan_gather_shards(qt, pool_->thread_count());
@@ -84,9 +119,9 @@ std::vector<std::vector<double>> KrylovBackend::solve(
     ++stats_.iterations;
   };
 
-  basis_.resize(m + 1);
+  basis_.resize(m_cap_ + 1);
   for (auto& vector : basis_) vector.assign(n, 0.0);
-  hess_ = linalg::DenseReal(m + 1, m);
+  hess_ = linalg::DenseReal(m_cap_ + 1, m_cap_);
   residual_.assign(n, 0.0);
   stepped_.assign(n, 0.0);
   previous_tau_ = 0.0;
@@ -94,21 +129,43 @@ std::vector<std::vector<double>> KrylovBackend::solve(
   std::vector<std::vector<double>> results;
   if (options_.collect_distributions) results.reserve(times.size());
 
-  std::vector<double> current = initial;
+  std::vector<double> current;  // pi(t_k), in closure space
+  if (compacted) {
+    current.resize(n);
+    for (std::size_t i = 0; i < n; ++i) current[i] = initial[reachable[i]];
+    full_point_.assign(initial.size(), 0.0);
+  } else {
+    current = initial;
+  }
+  // Expands the compacted state into full_point_ for results and
+  // callbacks; pass-through without compaction.  Unreachable entries are
+  // zero forever, so only the closure entries are ever rewritten.
+  const auto emit_view =
+      [&](const std::vector<double>& point) -> const std::vector<double>& {
+    if (!compacted) return point;
+    for (std::size_t i = 0; i < n; ++i) {
+      full_point_[reachable[i]] = point[i];
+    }
+    return full_point_;
+  };
+
   double current_time = 0.0;
   for (std::size_t idx = 0; idx < times.size(); ++idx) {
     const double dt = times[idx] - current_time;
     if (dt > 0.0) {
       if (anorm > 0.0) {
-        integrate(matvec, current, dt, anorm, m);
+        integrate(matvec, current, dt, anorm);
       }  // all-absorbing generator: exp(Q t) = I, the state carries over
       if (options_.renormalize) {
         linalg::normalize_probability(current);
       }
       current_time = times[idx];
     }
-    if (options_.collect_distributions) results.push_back(current);
-    if (on_point) on_point(idx, times[idx], current);
+    if (options_.collect_distributions || on_point) {
+      const std::vector<double>& point = emit_view(current);
+      if (options_.collect_distributions) results.push_back(point);
+      if (on_point) on_point(idx, times[idx], point);
+    }
   }
   return results;
 }
@@ -116,7 +173,7 @@ std::vector<std::vector<double>> KrylovBackend::solve(
 void KrylovBackend::integrate(
     const std::function<void(const std::vector<double>&,
                              std::vector<double>&)>& matvec,
-    std::vector<double>& state, double dt, double anorm, std::size_t m) {
+    std::vector<double>& state, double dt, double anorm) {
   // Error budget per unit time: accepted sub-steps charge err <= tau * tol
   // so the whole increment stays within `epsilon` -- the same per-increment
   // contract the uniformisation engines honour.
@@ -127,12 +184,10 @@ void KrylovBackend::integrate(
   // couplings, while genuine invariance (absorbed mass, n <= m chains)
   // is still caught.
   constexpr double kBreakdownRelative = 1e-14;
-  const double xm_default = 1.0 / static_cast<double>(m);
 
   double beta = l2_norm(state);
   if (beta == 0.0) return;
 
-  const double md = static_cast<double>(m);
   double tau;
   if (previous_tau_ > 0.0) {
     // The controller's converged sub-step from the previous increment:
@@ -144,10 +199,11 @@ void KrylovBackend::integrate(
     // m-term Krylov series, (anorm tau)^m / m!, with the budget.  The
     // controller refines from there, so only the order of magnitude
     // counts.
+    const double md = static_cast<double>(current_m_);
     const double fact = std::pow((md + 1.0) / std::exp(1.0), md + 1.0) *
                         std::sqrt(2.0 * std::numbers::pi * (md + 1.0));
     tau = (1.0 / anorm) *
-          std::pow(fact * tol / (4.0 * beta * anorm), xm_default);
+          std::pow(fact * tol / (4.0 * beta * anorm), 1.0 / md);
     if (!std::isfinite(tau) || tau <= 0.0) tau = dt;
   }
 
@@ -164,13 +220,22 @@ void KrylovBackend::integrate(
           " steps (raise krylov_max_substeps or epsilon)");
     }
 
+    // The subspace dimension this factorisation runs at (adapted between
+    // sub-steps, see below); the controller exponents follow it.
+    const std::size_t m = current_m_;
+    const double md = static_cast<double>(m);
+    const double xm_default = 1.0 / md;
+
     beta = l2_norm(state);
     if (beta == 0.0) return;
     basis_[0] = state;
     linalg::scale(basis_[0], 1.0 / beta);
-    const linalg::ArnoldiResult arn =
-        linalg::arnoldi(matvec, basis_, hess_, m, kBreakdownRelative);
+    const linalg::ArnoldiResult arn = linalg::arnoldi(
+        matvec, basis_, hess_, m, kBreakdownRelative, pool_.get(),
+        &arnoldi_ws_);
     stats_.krylov_dim = std::max<std::uint64_t>(stats_.krylov_dim, arn.dim);
+    stats_.krylov_ortho_work +=
+        static_cast<std::uint64_t>(arn.dim) * arn.dim;
     const std::size_t k = arn.dim;
 
     // Happy breakdown: K_k is invariant, the projected exponential is
@@ -280,6 +345,35 @@ void KrylovBackend::integrate(
         // larger controller step; keep whichever is bigger (the policy
         // the adaptive backend uses for the same clip).
         tau = attempted < tau ? std::max(tau, proposed) : proposed;
+        // Adapt the next factorisation's dimension off what this sub-step
+        // learned.  The accept test above is untouched, so these moves
+        // trade matvecs/orthogonalisation against re-stepping without
+        // ever loosening the error contract.
+        if (options_.krylov_adaptive_dim) {
+          if (arn.happy_breakdown) {
+            // The subspace closed at k; the state moves, so keep a small
+            // margin rather than pinning m = k.
+            current_m_ = std::clamp(k + 2, m_floor_, m_cap_);
+            slack_streak_ = 0;
+          } else if (rejections > 0) {
+            // Accuracy-limited: a deeper subspace lifts the attainable
+            // step faster than tau-shrinking re-trials converge.
+            current_m_ = std::min(m_cap_, m + dim_step(m));
+            slack_streak_ = 0;
+          } else if (err <= kSlackFraction * attempted * tol) {
+            // Order-of-magnitude budget slack: a shallower subspace
+            // would have passed too.  Two consecutive slack steps guard
+            // against a transient lull; an over-shrink is repaired by
+            // the rejection branch above.
+            if (++slack_streak_ >= 2) {
+              current_m_ =
+                  std::max(m_floor_, m - std::min(m - m_floor_, dim_step(m)));
+              slack_streak_ = 0;
+            }
+          } else {
+            slack_streak_ = 0;
+          }
+        }
         break;
       }
 

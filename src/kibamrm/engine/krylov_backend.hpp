@@ -30,7 +30,21 @@
 // The sparse matvec is CsrMatrix::multiply_range on the transposed
 // generator -- a gather, so it shards across the ThreadPool exactly like
 // the parallel uniformisation backend and stays bitwise deterministic
-// across thread counts ("--threads" composes).
+// across thread counts ("--threads" composes).  The whole solve runs in
+// the reachable closure of the initial support (exact: mass cannot leave
+// it), which halves both the matvec and the orthogonalisation on the
+// paper's expanded chains; the orthogonalisation itself runs sharded over
+// the same pool through linalg::arnoldi's fixed-block reduction contract.
+//
+// Adaptive subspace dimension: between sub-steps m grows on rejected
+// trials (the projection was too shallow for the attempted step) and
+// shrinks when the a-posteriori estimate sits far inside the budget for
+// consecutive accepted steps or the subspace closed early (happy
+// breakdown) -- so small easy chains stop paying the m = 30 worst-case
+// orthogonalisation and stiff chains stop burning re-stepped trials.
+// The accept/reject test is unchanged, so adaptivity affects cost only,
+// never the error contract.  BackendOptions::krylov_adaptive_dim pins
+// m = krylov_dim for A/B measurement.
 #pragma once
 
 #include <memory>
@@ -38,6 +52,7 @@
 
 #include "kibamrm/common/thread_pool.hpp"
 #include "kibamrm/engine/transient_backend.hpp"
+#include "kibamrm/linalg/arnoldi.hpp"
 #include "kibamrm/linalg/csr_matrix.hpp"
 #include "kibamrm/linalg/dense_matrix.hpp"
 
@@ -64,22 +79,31 @@ class KrylovBackend final : public TransientBackend {
   /// applies Q^T.  anorm is ||Q^T||_1, the step-size and breakdown scale.
   void integrate(const std::function<void(const std::vector<double>&,
                                           std::vector<double>&)>& matvec,
-                 std::vector<double>& state, double dt, double anorm,
-                 std::size_t m);
+                 std::vector<double>& state, double dt, double anorm);
 
   BackendOptions options_;
   BackendStats stats_;
   std::unique_ptr<common::ThreadPool> pool_;
   // Scratch reused across sub-steps and solve() calls: the Arnoldi basis
-  // (m+1 vectors of the chain dimension), the Hessenberg projection, the
-  // residual matvec target for ||A v_{m+1}||, and the sub-step result.
+  // (m_cap+1 vectors of the chain dimension), the Hessenberg projection,
+  // the residual matvec target for ||A v_{m+1}||, the sub-step result,
+  // and the sharded-orthogonalisation workspace.
   std::vector<std::vector<double>> basis_;
   linalg::DenseReal hess_;
   std::vector<double> residual_;
   std::vector<double> stepped_;
+  std::vector<double> full_point_;  // closure -> full-space emission buffer
+  linalg::ArnoldiWorkspace arnoldi_ws_;
   // Converged controller sub-step carried across increments of one solve
   // (0 = derive the a-priori EXPOKIT guess); reset per solve().
   double previous_tau_ = 0.0;
+  // Adaptive subspace dimension, persisted across sub-steps and
+  // increments of one solve: cap = min(krylov_dim, states), floor 4, and
+  // the consecutive-slack counter driving shrinks.
+  std::size_t m_cap_ = 1;
+  std::size_t m_floor_ = 1;
+  std::size_t current_m_ = 1;
+  std::size_t slack_streak_ = 0;
 };
 
 }  // namespace kibamrm::engine

@@ -38,7 +38,8 @@ std::vector<ScenarioResult> ScenarioBatch::solve_all(
       // themselves are never materialised.
       .collect_distributions = false,
       .fused_kernels = options_.fused_kernels,
-      .steady_state_detection = options_.steady_state_detection};
+      .steady_state_detection = options_.steady_state_detection,
+      .kernel_dispatch = options_.kernel_dispatch};
 
   std::vector<ScenarioResult> results(scenarios.size());
   std::vector<LaneScratch> lanes(pool_.thread_count());

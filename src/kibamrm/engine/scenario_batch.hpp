@@ -95,6 +95,12 @@ struct ScenarioBatchOptions {
   /// steady-state early termination (uniformisation engines).
   bool fused_kernels = true;
   bool steady_state_detection = true;
+  /// Vector-kernel tier pin ("auto" / "scalar" / "avx2"), forwarded to
+  /// every lane's BackendOptions::kernel_dispatch -- the pin is
+  /// process-global, so one batch option covers all lanes (the sanitizer
+  /// CI pins "scalar" here to keep reports readable).  Results are
+  /// bitwise identical across tiers.
+  std::string kernel_dispatch = "auto";
 };
 
 class ScenarioBatch {

@@ -10,6 +10,7 @@
 #include "kibamrm/engine/krylov_backend.hpp"
 #include "kibamrm/engine/parallel_backend.hpp"
 #include "kibamrm/engine/uniformization_backend.hpp"
+#include "kibamrm/linalg/kernels.hpp"
 #include "kibamrm/linalg/vector_ops.hpp"
 
 namespace kibamrm::engine {
@@ -70,6 +71,10 @@ void TransientBackend::check_arguments(const markov::Ctmc& chain,
 
 std::unique_ptr<TransientBackend> make_backend(std::string_view name,
                                                const BackendOptions& options) {
+  // The kernel tier is process-global state (see linalg/kernels.hpp);
+  // applying it here covers every construction path, including the
+  // per-lane backends of ScenarioBatch.  "auto" is a no-op.
+  linalg::kernels::apply_dispatch(options.kernel_dispatch);
   const auto it = registry().find(name);
   if (it == registry().end()) {
     std::ostringstream message;

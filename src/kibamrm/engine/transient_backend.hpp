@@ -120,6 +120,21 @@ struct BackendOptions {
   /// a tuning knob (stiff battery chains finish in tens to hundreds of
   /// sub-steps).  Other backends ignore it.
   std::size_t krylov_max_substeps = 500000;
+  /// Krylov backend: adapt the Arnoldi subspace dimension between
+  /// sub-steps within [4, krylov_dim] -- grow when trial steps get
+  /// rejected, shrink on sustained error-budget slack or an early
+  /// invariant subspace -- so easy chains stop paying the worst-case
+  /// m^2 n orthogonalisation and stiff chains stop re-stepping.  False
+  /// pins m = krylov_dim (the fixed-dimension A/B baseline).  Other
+  /// backends ignore it.
+  bool krylov_adaptive_dim = true;
+  /// Kernel dispatch for the linalg::kernels vector layer, applied
+  /// process-globally by make_backend(): "auto" keeps the current process
+  /// setting (CPUID-detected unless already pinned), "scalar" / "avx2"
+  /// pin the tier for every engine and ScenarioBatch lane (results are
+  /// bitwise identical either way; the pin exists for measurement and for
+  /// sanitizer runs).  See linalg/kernels.hpp.
+  std::string kernel_dispatch = "auto";
 };
 
 /// Cost counters, populated by every backend after each solve().
@@ -142,13 +157,14 @@ struct BackendStats {
   /// plan cache during the last solve; 0 elsewhere.
   std::uint64_t windows_computed = 0;
   std::uint64_t windows_reused = 0;
-  /// Uniformisation engines: states inside the reachable closure of the
-  /// initial distribution (the dimension the fused loop iterates); equals
-  /// the full state count without compaction, 0 for other backends.
+  /// Uniformisation and krylov engines: states inside the reachable
+  /// closure of the initial distribution (the dimension the hot loops
+  /// iterate); equals the full state count without compaction, 0 for
+  /// other backends.
   std::uint64_t active_states = 0;
-  /// Uniformisation engines: stored entries of the matrix the loop
-  /// actually iterates (compacted transpose when fused, full uniformised
-  /// P otherwise); 0 for other backends.
+  /// Uniformisation and krylov engines: stored entries of the matrix the
+  /// loop actually iterates (compacted transpose when fused/compacted,
+  /// full matrix otherwise); 0 for other backends.
   std::uint64_t active_nonzeros = 0;
   /// Krylov backend: largest Arnoldi subspace dimension used during the
   /// last solve (the configured cap, or less after happy breakdowns on
@@ -157,6 +173,11 @@ struct BackendStats {
   /// Krylov backend: accepted adaptive sub-steps over the whole solve
   /// (each one Arnoldi factorisation); 0 elsewhere.
   std::uint64_t substeps = 0;
+  /// Krylov backend: sum of dim^2 over all Arnoldi factorisations -- the
+  /// orthogonalisation cost of the solve in units of the state count
+  /// (the m^2 n term that dominates 1e5+-state chains), and the metric
+  /// the adaptive dimension controller actually optimises; 0 elsewhere.
+  std::uint64_t krylov_ortho_work = 0;
   /// Krylov backend: small Hessenberg exponentials evaluated, including
   /// rejected trial steps (each one cached-Pade evaluation); 0 elsewhere.
   std::uint64_t hessenberg_expms = 0;

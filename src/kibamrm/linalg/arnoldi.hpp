@@ -8,10 +8,23 @@
 // A are needed, so the caller supplies the matvec (the backend shards it
 // across a thread pool) and this module owns just the orthogonalisation.
 //
-// Modified Gram-Schmidt with one reorthogonalisation pass is used
-// (EXPOKIT runs plain MGS; the extra pass costs no matvecs and keeps the
-// slow couplings resolvable on chains whose fast/slow rate ratio
-// approaches 1/eps -- see the note at ArnoldiResult::happy_breakdown).
+// Orthogonalisation scheme: classical Gram-Schmidt with a *selective*
+// DGKS correction pass (the ARPACK policy; Giraud et al. show the pair
+// reaches the same O(eps) orthogonality as reorthogonalised MGS).
+// Classical projections all read the *unmodified* w, so each pass batches
+// its j+1 dots and j+1 axpys into one fused sweep over memory -- two
+// sweeps per Krylov step in the common case, two more only when the
+// Daniel-et-al. cancellation criterion demands the correction -- against
+// the ~4j strided passes of sequential MGS, which is the difference that
+// matters on 1e5+-state chains where the m^2 n orthogonalisation is
+// memory-bound, not flop-bound.  See the in-code note for why the
+// correction pass matters on stiff chains.
+//
+// Every vector operation runs on the linalg/kernels layer (runtime SIMD
+// dispatch) and optionally shards across a common::ThreadPool.
+// Reductions follow the kernels layer's fixed-block pairwise contract,
+// so the factorisation is bitwise identical for every thread count and
+// dispatch tier.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +32,10 @@
 #include <vector>
 
 #include "kibamrm/linalg/dense_matrix.hpp"
+
+namespace kibamrm::common {
+class ThreadPool;
+}  // namespace kibamrm::common
 
 namespace kibamrm::linalg {
 
@@ -43,16 +60,30 @@ struct ArnoldiResult {
   std::size_t matvecs = 0;
 };
 
+/// Reusable scratch of the sharded orthogonalisation (block partials of
+/// the multi-dot, DGKS corrections, shard boundaries).  Optional: arnoldi
+/// allocates locally when none is passed; the Krylov backend keeps one
+/// across its thousands of factorisations.
+struct ArnoldiWorkspace {
+  std::vector<double> partials;
+  std::vector<double> corrections;
+  std::vector<std::size_t> shard_blocks;
+};
+
 /// Runs m Arnoldi steps from the unit vector in basis[0] (the caller
 /// normalises), filling basis[1..dim] and the (m+1) x m Hessenberg `h`
-/// (zeroed here).  `basis` must hold at least m+1 vectors of the problem
-/// dimension; basis[j+1] doubles as the matvec target of step j, so no
-/// extra scratch is needed.
+/// (zeroed here; h may be larger, the top-left block is used).  `basis`
+/// must hold at least m+1 vectors of the problem dimension; basis[j+1]
+/// doubles as the matvec target of step j, so no extra scratch is needed.
 ///
-/// Stops early when h_{k+1,k} <= breakdown_tolerance * ||A v_k|| (happy
-/// breakdown); pass a small multiple of machine epsilon.
+/// `pool` (optional) shards the dot/axpy sweeps; the result is bitwise
+/// independent of the pool size.  Stops early when
+/// h_{k+1,k} <= breakdown_tolerance * ||A v_k|| (happy breakdown); pass a
+/// small multiple of machine epsilon.
 ArnoldiResult arnoldi(const ArnoldiMatvec& matvec,
                       std::vector<std::vector<double>>& basis, DenseReal& h,
-                      std::size_t m, double breakdown_tolerance);
+                      std::size_t m, double breakdown_tolerance,
+                      common::ThreadPool* pool = nullptr,
+                      ArnoldiWorkspace* workspace = nullptr);
 
 }  // namespace kibamrm::linalg

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/kernels.hpp"
+#include "kibamrm/linalg/kernels_internal.hpp"
 #include "kibamrm/linalg/vector_ops.hpp"
 
 namespace kibamrm::linalg {
@@ -86,6 +88,21 @@ void CsrMatrix::multiply_range(const std::vector<double>& x,
                   "multiply_range: output not pre-sized to rows()");
   KIBAMRM_REQUIRE(row_begin <= row_end && row_end <= rows_,
                   "multiply_range: invalid row range");
+#if KIBAMRM_HAVE_AVX2_TIER
+  // Opt-in row grouping (see kernels::gather_grouping): four equal-length
+  // rows per SIMD group with the same sequential per-row accumulation
+  // order, so scalar and SIMD results agree bitwise (the i32 gathers
+  // bound the index range).
+  if (kernels::gather_grouping() &&
+      kernels::active_dispatch() == kernels::Dispatch::kAvx2 &&
+      cols_ <= static_cast<std::size_t>(
+                   std::numeric_limits<std::int32_t>::max())) {
+    kernels::detail::avx2_csr_multiply_rows(row_ptr_.data(), col_idx_.data(),
+                                            values_.data(), x.data(),
+                                            out.data(), row_begin, row_end);
+    return;
+  }
+#endif
   for (std::size_t row = row_begin; row < row_end; ++row) {
     double acc = 0.0;
     for (std::uint32_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {

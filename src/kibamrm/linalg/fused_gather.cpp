@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/kernels.hpp"
+#include "kibamrm/linalg/kernels_internal.hpp"
 
 namespace kibamrm::linalg {
 
@@ -19,11 +21,16 @@ std::optional<FusedGatherPlan> FusedGatherPlan::build(
   FusedGatherPlan plan;
   plan.lengths_.resize(matrix.rows());
   plan.entry_start_.assign(row_ptr.begin(), row_ptr.end());
-  plan.offsets_.resize(matrix.nonzeros());
   plan.value_ids_.resize(matrix.nonzeros());
+  plan.offsets_.resize(matrix.nonzeros());
   std::unordered_map<double, std::uint16_t> ids;
   ids.reserve(1024);
 
+  // First pass: the row-offset layout, plus the length and dictionary
+  // constraints shared by both layouts.  A single offset outside int16
+  // downgrades to the column-delta layout below (without redoing the
+  // dictionary); length or dictionary overflow fails the build outright.
+  bool offsets_fit = true;
   for (std::size_t row = 0; row < matrix.rows(); ++row) {
     const std::uint32_t length = row_ptr[row + 1] - row_ptr[row];
     if (length > std::numeric_limits<std::uint8_t>::max()) return std::nullopt;
@@ -33,9 +40,10 @@ std::optional<FusedGatherPlan> FusedGatherPlan::build(
                           static_cast<std::int64_t>(row);
       if (offset < std::numeric_limits<std::int16_t>::min() ||
           offset > std::numeric_limits<std::int16_t>::max()) {
-        return std::nullopt;
+        offsets_fit = false;
+      } else {
+        plan.offsets_[k] = static_cast<std::int16_t>(offset);
       }
-      plan.offsets_[k] = static_cast<std::int16_t>(offset);
       const auto [it, inserted] = ids.try_emplace(
           values[k], static_cast<std::uint16_t>(plan.dictionary_.size()));
       if (inserted) {
@@ -46,6 +54,31 @@ std::optional<FusedGatherPlan> FusedGatherPlan::build(
         plan.dictionary_.push_back(values[k]);
       }
       plan.value_ids_[k] = it->second;
+    }
+  }
+  if (offsets_fit) return plan;
+
+  // Column-delta fallback: CSR columns are sorted ascending within a row,
+  // so consecutive gaps are non-negative; any gap beyond uint16 defeats
+  // this layout too.
+  plan.layout_ = Layout::kColumnDelta;
+  plan.offsets_.clear();
+  plan.offsets_.shrink_to_fit();
+  plan.first_col_.assign(matrix.rows(), 0);
+  plan.deltas_.assign(matrix.nonzeros(), 0);
+  for (std::size_t row = 0; row < matrix.rows(); ++row) {
+    std::uint32_t previous = 0;
+    for (std::uint32_t k = row_ptr[row]; k < row_ptr[row + 1]; ++k) {
+      if (k == row_ptr[row]) {
+        plan.first_col_[row] = col_idx[k];
+      } else {
+        const std::uint32_t gap = col_idx[k] - previous;
+        if (gap > std::numeric_limits<std::uint16_t>::max()) {
+          return std::nullopt;
+        }
+        plan.deltas_[k] = static_cast<std::uint16_t>(gap);
+      }
+      previous = col_idx[k];
     }
   }
   return plan;
@@ -62,6 +95,30 @@ double FusedGatherPlan::multiply_fused_range(const std::vector<double>& x,
                   "FusedGatherPlan: vectors not sized to rows()");
   KIBAMRM_REQUIRE(row_begin <= row_end && row_end <= rows(),
                   "FusedGatherPlan: invalid row range");
+  return layout_ == Layout::kRowOffset
+             ? fused_range_row_offset(x, out, accum, weight, row_begin,
+                                      row_end)
+             : fused_range_column_delta(x, out, accum, weight, row_begin,
+                                        row_end);
+}
+
+double FusedGatherPlan::fused_range_row_offset(
+    const std::vector<double>& x, std::vector<double>& out,
+    std::vector<double>& accum, double weight, std::size_t row_begin,
+    std::size_t row_end) const {
+#if KIBAMRM_HAVE_AVX2_TIER
+  // Row grouping is opt-in (see kernels::gather_grouping): the scalar
+  // per-length switch measured faster on gather-slow parts.
+  if (kernels::gather_grouping() &&
+      kernels::active_dispatch() == kernels::Dispatch::kAvx2 &&
+      rows() <= static_cast<std::size_t>(
+                    std::numeric_limits<std::int32_t>::max())) {
+    return kernels::detail::avx2_plan_fused_rows(
+        lengths_.data(), entry_start_.data(), offsets_.data(),
+        value_ids_.data(), dictionary_.data(), x.data(), out.data(),
+        accum.data(), weight, row_begin, row_end);
+  }
+#endif
   const std::uint8_t* lengths = lengths_.data();
   const std::int16_t* offsets = offsets_.data();
   const std::uint16_t* value_ids = value_ids_.data();
@@ -72,7 +129,8 @@ double FusedGatherPlan::multiply_fused_range(const std::vector<double>& x,
   for (std::size_t row = row_begin; row < row_end; ++row) {
     double v;
     // Canonical per-length evaluation order, mirrored exactly by
-    // CsrMatrix::multiply_fused_range so the two kernels agree bitwise.
+    // CsrMatrix::multiply_fused_range and the AVX2 group kernel, so all
+    // kernels agree bitwise.
     switch (lengths[row]) {
       case 0:
         v = 0.0;
@@ -111,6 +169,91 @@ double FusedGatherPlan::multiply_fused_range(const std::vector<double>& x,
         }
         if (j < length) {
           s0 += dictionary[value_ids[k + j]] * in[row + offsets[k + j]];
+        }
+        v = s0 + s1;
+        k += length;
+      }
+    }
+    out[row] = v;
+    if (weight != 0.0) accum[row] += weight * v;
+    delta = std::max(delta, std::abs(v - in[row]));
+  }
+  return delta;
+}
+
+double FusedGatherPlan::fused_range_column_delta(
+    const std::vector<double>& x, std::vector<double>& out,
+    std::vector<double>& accum, double weight, std::size_t row_begin,
+    std::size_t row_end) const {
+  const std::uint8_t* lengths = lengths_.data();
+  const std::uint32_t* first_col = first_col_.data();
+  const std::uint16_t* deltas = deltas_.data();
+  const std::uint16_t* value_ids = value_ids_.data();
+  const double* dictionary = dictionary_.data();
+  const double* in = x.data();
+  double delta = 0.0;
+  std::size_t k = entry_start_[row_begin];
+  for (std::size_t row = row_begin; row < row_end; ++row) {
+    // Columns rebuild incrementally from the per-row absolute start; the
+    // per-length evaluation order is the same canonical one as above, so
+    // the two layouts agree bitwise on any matrix both can represent.
+    const std::uint8_t length = lengths[row];
+    std::uint32_t c0;
+    std::uint32_t c1;
+    std::uint32_t c2;
+    std::uint32_t c3;
+    double v;
+    switch (length) {
+      case 0:
+        v = 0.0;
+        break;
+      case 1:
+        v = dictionary[value_ids[k]] * in[first_col[row]];
+        k += 1;
+        break;
+      case 2:
+        c0 = first_col[row];
+        c1 = c0 + deltas[k + 1];
+        v = dictionary[value_ids[k]] * in[c0] +
+            dictionary[value_ids[k + 1]] * in[c1];
+        k += 2;
+        break;
+      case 3:
+        c0 = first_col[row];
+        c1 = c0 + deltas[k + 1];
+        c2 = c1 + deltas[k + 2];
+        v = dictionary[value_ids[k]] * in[c0] +
+            dictionary[value_ids[k + 1]] * in[c1] +
+            dictionary[value_ids[k + 2]] * in[c2];
+        k += 3;
+        break;
+      case 4:
+        c0 = first_col[row];
+        c1 = c0 + deltas[k + 1];
+        c2 = c1 + deltas[k + 2];
+        c3 = c2 + deltas[k + 3];
+        v = (dictionary[value_ids[k]] * in[c0] +
+             dictionary[value_ids[k + 1]] * in[c1]) +
+            (dictionary[value_ids[k + 2]] * in[c2] +
+             dictionary[value_ids[k + 3]] * in[c3]);
+        k += 4;
+        break;
+      default: {
+        double s0 = 0.0;
+        double s1 = 0.0;
+        std::uint32_t even_col = first_col[row];
+        std::uint32_t odd_col = even_col + deltas[k + 1];
+        std::uint8_t j = 0;
+        for (; j + 2 <= length; j += 2) {
+          s0 += dictionary[value_ids[k + j]] * in[even_col];
+          s1 += dictionary[value_ids[k + j + 1]] * in[odd_col];
+          if (j + 2 < length) {
+            even_col = odd_col + deltas[k + j + 2];
+            if (j + 3 < length) odd_col = even_col + deltas[k + j + 3];
+          }
+        }
+        if (j < length) {
+          s0 += dictionary[value_ids[k + j]] * in[even_col];
         }
         v = s0 + s1;
         k += length;

@@ -7,23 +7,37 @@
 // value-sparse: the generator is assembled from a small set of rates, so
 // the ~1e6 stored doubles take only a few thousand distinct values.
 //
-// FusedGatherPlan exploits both: each entry packs into 4 bytes (int16
-// column offset from the row + uint16 index into a value dictionary)
-// instead of CSR's 12, and row lengths stream as one uint8 each instead
-// of 4-byte row pointers.  That cuts the per-iteration traffic roughly
-// threefold on the paper's Fig. 8 chains -- measured ~1.3-1.5x
-// end-to-end over the plain CSR gather.
+// FusedGatherPlan exploits both.  Two compressed layouts exist:
+//
+//   kRowOffset     each entry packs into 4 bytes: int16 column offset from
+//                  the row plus uint16 index into a value dictionary
+//                  (CSR spends 12); row lengths stream as one uint8 each.
+//                  ~1/3 the per-iteration traffic on the paper's Fig. 8
+//                  chains, measured ~1.3-1.5x end-to-end over the CSR
+//                  gather.  This layout is SIMD-dispatched: runs of
+//                  equal-length rows evaluate four rows per AVX2 gather
+//                  group when the avx2 kernel tier is active.
+//
+//   kColumnDelta   fallback for wide chains whose column offsets escape
+//                  int16: per-row absolute first column (uint32) plus
+//                  uint16 deltas between consecutive columns -- CSR
+//                  columns are sorted, so any row whose largest gap fits
+//                  16 bits compresses, regardless of the band width.
+//                  Same 4 bytes per entry plus 4 per row; scalar kernel
+//                  only (the running-column dependency defeats the
+//                  gather grouping).
 //
 // The kernel itself is the same fused uniformisation step as
 // CsrMatrix::multiply_fused_range (spmv + Poisson-weighted accumulate +
 // sup-norm step delta in one pass) with bitwise-identical arithmetic: the
 // dictionary stores exact doubles and every row length evaluates in the
-// same canonical order, so a solver may pick either kernel -- or shard
-// either across threads -- without changing a single bit of the result.
+// same canonical order, so a solver may pick either kernel, either
+// layout, or either dispatch tier -- or shard any of them across threads
+// -- without changing a single bit of the result.
 //
-// Chains that do not compress (offsets beyond int16, more than 65535
-// distinct values, rows longer than 255 entries) simply fail build();
-// callers fall back to the CSR kernel.
+// Chains that fit neither layout (a within-row column gap beyond uint16,
+// more than 65535 distinct values, rows longer than 255 entries) simply
+// fail build(); callers fall back to the CSR kernel.
 #pragma once
 
 #include <cstdint>
@@ -36,14 +50,21 @@ namespace kibamrm::linalg {
 
 class FusedGatherPlan {
  public:
+  enum class Layout {
+    kRowOffset,    ///< int16 (column - row) offsets; SIMD-dispatched
+    kColumnDelta,  ///< absolute first column + uint16 in-row deltas; scalar
+  };
+
   /// Builds a plan from a square (transposed-transition) matrix, or
-  /// returns nullopt when the matrix does not fit the compressed layout.
+  /// returns nullopt when the matrix fits neither compressed layout.
   static std::optional<FusedGatherPlan> build(const CsrMatrix& matrix);
 
   std::size_t rows() const { return lengths_.size(); }
 
   /// Entries actually stored (== source nonzeros).
-  std::size_t nonzeros() const { return offsets_.size(); }
+  std::size_t nonzeros() const { return value_ids_.size(); }
+
+  Layout layout() const { return layout_; }
 
   /// Same contract and bitwise-identical result as
   /// CsrMatrix::multiply_fused_range on the source matrix: for rows in
@@ -60,12 +81,29 @@ class FusedGatherPlan {
  private:
   FusedGatherPlan() = default;
 
+  double fused_range_row_offset(const std::vector<double>& x,
+                                std::vector<double>& out,
+                                std::vector<double>& accum, double weight,
+                                std::size_t row_begin,
+                                std::size_t row_end) const;
+  double fused_range_column_delta(const std::vector<double>& x,
+                                  std::vector<double>& out,
+                                  std::vector<double>& accum, double weight,
+                                  std::size_t row_begin,
+                                  std::size_t row_end) const;
+
+  Layout layout_ = Layout::kRowOffset;
   std::vector<std::uint8_t> lengths_;      // stored entries per row
   std::vector<std::uint32_t> entry_start_; // per-row entry offset (size rows+1);
                                            // read once per kernel call, not per row
-  std::vector<std::int16_t> offsets_;      // column - row, per entry
   std::vector<std::uint16_t> value_ids_;   // dictionary index, per entry
   std::vector<double> dictionary_;         // distinct values, exact bit patterns
+  // kRowOffset layout:
+  std::vector<std::int16_t> offsets_;      // column - row, per entry
+  // kColumnDelta layout:
+  std::vector<std::uint32_t> first_col_;   // absolute column of entry 0, per row
+  std::vector<std::uint16_t> deltas_;      // column gap to the previous entry
+                                           // (entry 0 of each row stores 0)
 };
 
 }  // namespace kibamrm::linalg

@@ -1,0 +1,201 @@
+#include "kibamrm/linalg/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "kibamrm/common/cpu_features.hpp"
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/kernels_internal.hpp"
+
+namespace kibamrm::linalg::kernels {
+
+namespace {
+
+// Pinned tier, or kNoPin.  Reads are on every kernel call, so relaxed
+// atomics; the pin itself is a rare configuration event.
+constexpr int kNoPin = -1;
+std::atomic<int> g_pin{kNoPin};
+std::atomic<bool> g_gather_grouping{false};
+
+void apply_environment_pin_once() {
+  static const bool applied = [] {
+    if (const char* gather = std::getenv("KIBAMRM_SIMD_GATHER")) {
+      const std::string_view value(gather);
+      set_gather_grouping(value == "on" || value == "1" || value == "true");
+    }
+    const char* value = std::getenv("KIBAMRM_KERNELS");
+    if (value == nullptr) return true;
+    try {
+      if (const auto parsed = parse_dispatch(value)) set_dispatch(*parsed);
+    } catch (const Error& error) {
+      // Startup configuration must not abort the process; fall back to
+      // CPUID and say so once.
+      std::fprintf(stderr, "kibamrm: ignoring KIBAMRM_KERNELS=%s (%s)\n",
+                   value, error.what());
+    }
+    return true;
+  }();
+  (void)applied;
+}
+
+// One scalar reduction block in the canonical sixteen-lane order (see the
+// contract in kernels.hpp).  The AVX2 tier holds the same sixteen lanes in
+// four ymm registers, so the two tiers agree bit for bit.
+double scalar_dot_block(const double* a, const double* b, std::size_t begin,
+                        std::size_t end) {
+  double l[16] = {};
+  std::size_t i = begin;
+  for (; i + 16 <= end; i += 16) {
+    for (std::size_t j = 0; j < 16; ++j) l[j] += a[i + j] * b[i + j];
+  }
+  // Partial group of four feeds the first register's lanes, exactly as
+  // the AVX2 four-wide cleanup loop does.
+  for (; i + 4 <= end; i += 4) {
+    for (std::size_t j = 0; j < 4; ++j) l[j] += a[i + j] * b[i + j];
+  }
+  double tail = 0.0;
+  for (; i < end; ++i) tail += a[i] * b[i];
+  // Fold registers pairwise ((A0+A2)+(A1+A3)), then lanes ((c0+c2)+(c1+c3)).
+  double c[4];
+  for (std::size_t r = 0; r < 4; ++r) {
+    c[r] = (l[r] + l[8 + r]) + (l[4 + r] + l[12 + r]);
+  }
+  return ((c[0] + c[2]) + (c[1] + c[3])) + tail;
+}
+
+void scalar_dot_blocks(const double* a, const double* b, std::size_t n,
+                       std::size_t block_begin, std::size_t block_end,
+                       double* partials) {
+  for (std::size_t block = block_begin; block < block_end; ++block) {
+    const std::size_t begin = block * kBlockDoubles;
+    const std::size_t end = std::min(n, begin + kBlockDoubles);
+    partials[block] = scalar_dot_block(a, b, begin, end);
+  }
+}
+
+void scalar_axpy(double alpha, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scalar_scale(double* v, double alpha, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) v[i] *= alpha;
+}
+
+// Per-thread partials scratch: dot()/nrm2() are called tens of thousands
+// of times per solve, a heap allocation per call would dominate small
+// vectors.
+std::vector<double>& partials_scratch(std::size_t blocks) {
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < blocks) scratch.resize(blocks);
+  return scratch;
+}
+
+}  // namespace
+
+Dispatch detected_dispatch() {
+  return common::cpu_has_avx2_fma() && KIBAMRM_HAVE_AVX2_TIER
+             ? Dispatch::kAvx2
+             : Dispatch::kScalar;
+}
+
+Dispatch active_dispatch() {
+  apply_environment_pin_once();
+  const int pin = g_pin.load(std::memory_order_relaxed);
+  return pin == kNoPin ? detected_dispatch() : static_cast<Dispatch>(pin);
+}
+
+void set_dispatch(Dispatch dispatch) {
+  KIBAMRM_REQUIRE(dispatch != Dispatch::kAvx2 ||
+                      detected_dispatch() == Dispatch::kAvx2,
+                  "cannot pin avx2 kernels: CPU lacks AVX2+FMA");
+  g_pin.store(static_cast<int>(dispatch), std::memory_order_relaxed);
+}
+
+void clear_dispatch() { g_pin.store(kNoPin, std::memory_order_relaxed); }
+
+bool gather_grouping() {
+  apply_environment_pin_once();
+  return g_gather_grouping.load(std::memory_order_relaxed);
+}
+
+void set_gather_grouping(bool enabled) {
+  g_gather_grouping.store(enabled, std::memory_order_relaxed);
+}
+
+std::string_view dispatch_name(Dispatch dispatch) {
+  return dispatch == Dispatch::kAvx2 ? "avx2" : "scalar";
+}
+
+std::optional<Dispatch> parse_dispatch(std::string_view name) {
+  if (name == "auto") return std::nullopt;
+  if (name == "scalar") return Dispatch::kScalar;
+  if (name == "avx2") return Dispatch::kAvx2;
+  throw InvalidArgument("unknown kernel dispatch '" + std::string(name) +
+                        "'; choices: auto scalar avx2");
+}
+
+void apply_dispatch(std::string_view name) {
+  if (const auto parsed = parse_dispatch(name)) set_dispatch(*parsed);
+}
+
+std::size_t block_count(std::size_t n) {
+  return (n + kBlockDoubles - 1) / kBlockDoubles;
+}
+
+void dot_blocks(const double* a, const double* b, std::size_t n,
+                std::size_t block_begin, std::size_t block_end,
+                double* partials) {
+#if KIBAMRM_HAVE_AVX2_TIER
+  if (active_dispatch() == Dispatch::kAvx2) {
+    detail::avx2_dot_blocks(a, b, n, block_begin, block_end, partials);
+    return;
+  }
+#endif
+  scalar_dot_blocks(a, b, n, block_begin, block_end, partials);
+}
+
+double reduce_pairwise(const double* partials, std::size_t count) {
+  if (count == 0) return 0.0;
+  if (count == 1) return partials[0];
+  if (count == 2) return partials[0] + partials[1];
+  const std::size_t half = count / 2;
+  return reduce_pairwise(partials, half) +
+         reduce_pairwise(partials + half, count - half);
+}
+
+double dot(const double* a, const double* b, std::size_t n) {
+  const std::size_t blocks = block_count(n);
+  std::vector<double>& partials = partials_scratch(blocks);
+  dot_blocks(a, b, n, 0, blocks, partials.data());
+  return reduce_pairwise(partials.data(), blocks);
+}
+
+double nrm2(const double* v, std::size_t n) {
+  return std::sqrt(dot(v, v, n));
+}
+
+void axpy(double alpha, const double* x, double* y, std::size_t n) {
+#if KIBAMRM_HAVE_AVX2_TIER
+  if (active_dispatch() == Dispatch::kAvx2) {
+    detail::avx2_axpy(alpha, x, y, n);
+    return;
+  }
+#endif
+  scalar_axpy(alpha, x, y, n);
+}
+
+void scale(double* v, double alpha, std::size_t n) {
+#if KIBAMRM_HAVE_AVX2_TIER
+  if (active_dispatch() == Dispatch::kAvx2) {
+    detail::avx2_scale(v, alpha, n);
+    return;
+  }
+#endif
+  scalar_scale(v, alpha, n);
+}
+
+}  // namespace kibamrm::linalg::kernels

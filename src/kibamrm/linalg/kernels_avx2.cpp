@@ -1,0 +1,273 @@
+// AVX2 tier of the dispatched kernel layer.  Compiled with -mavx2 and FP
+// contraction off (see CMakeLists); every kernel reproduces the canonical
+// arithmetic order of its scalar counterpart bit for bit:
+//
+//   * reductions hold the contract's interleaved lanes in ymm registers
+//     (four chained accumulators hide the add latency without changing
+//     the order -- the 16-lane structure IS the contract),
+//   * element-wise kernels round per element, and no fused multiply-add
+//     is ever emitted (the contract fixes the intermediate rounding),
+//   * the gather kernels process runs of equal-length rows four at a
+//     time, evaluating each row in the same per-length order as the
+//     scalar switch -- grouping changes which rows share a register,
+//     never the order within a row.
+#include "kibamrm/linalg/kernels_internal.hpp"
+
+#if KIBAMRM_HAVE_AVX2_TIER
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "kibamrm/linalg/kernels.hpp"
+
+namespace kibamrm::linalg::kernels::detail {
+
+namespace {
+
+/// Canonical lane combine of one reduction block: (l0+l2)+(l1+l3).
+inline double lane_combine(__m256d acc) {
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);  // (l0+l2, l1+l3)
+  return _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+}
+
+inline double lane_max(__m256d acc) {
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_max_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_max_sd(pair, _mm_unpackhi_pd(pair, pair)));
+}
+
+/// One block of the fixed-block dot: sixteen interleaved lanes in four
+/// registers (element i feeds register (i/4)%4, lane i%4), folded as
+/// ((A0+A2)+(A1+A3)) -> lane combine, then a four-lane loop on A0 and a
+/// sequential tail.  kernels.cpp walks the identical structure in scalar.
+inline double dot_block(const double* a, const double* b, std::size_t begin,
+                        std::size_t end) {
+  __m256d a0 = _mm256_setzero_pd();
+  __m256d a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd();
+  __m256d a3 = _mm256_setzero_pd();
+  std::size_t i = begin;
+  for (; i + 16 <= end; i += 16) {
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                         _mm256_loadu_pd(b + i)));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_loadu_pd(a + i + 4),
+                                         _mm256_loadu_pd(b + i + 4)));
+    a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_loadu_pd(a + i + 8),
+                                         _mm256_loadu_pd(b + i + 8)));
+    a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_loadu_pd(a + i + 12),
+                                         _mm256_loadu_pd(b + i + 12)));
+  }
+  for (; i + 4 <= end; i += 4) {
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                         _mm256_loadu_pd(b + i)));
+  }
+  double tail = 0.0;
+  for (; i < end; ++i) tail += a[i] * b[i];
+  const __m256d folded =
+      _mm256_add_pd(_mm256_add_pd(a0, a2), _mm256_add_pd(a1, a3));
+  return lane_combine(folded) + tail;
+}
+
+}  // namespace
+
+void avx2_dot_blocks(const double* a, const double* b, std::size_t n,
+                     std::size_t block_begin, std::size_t block_end,
+                     double* partials) {
+  for (std::size_t block = block_begin; block < block_end; ++block) {
+    const std::size_t begin = block * kBlockDoubles;
+    const std::size_t end = std::min(n, begin + kBlockDoubles);
+    partials[block] = dot_block(a, b, begin, end);
+  }
+}
+
+void avx2_axpy(double alpha, const double* x, double* y, std::size_t n) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(av, _mm256_loadu_pd(x + i))));
+    _mm256_storeu_pd(
+        y + i + 4,
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 4),
+                      _mm256_mul_pd(av, _mm256_loadu_pd(x + i + 4))));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(av, _mm256_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void avx2_scale(double* v, double alpha, std::size_t n) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(v + i, _mm256_mul_pd(av, _mm256_loadu_pd(v + i)));
+  }
+  for (; i < n; ++i) v[i] *= alpha;
+}
+
+void avx2_csr_multiply_rows(const std::uint32_t* row_ptr,
+                            const std::uint32_t* col_idx,
+                            const double* values, const double* x,
+                            double* out, std::size_t row_begin,
+                            std::size_t row_end) {
+  constexpr std::uint32_t kMaxGroupedLength = 12;
+  std::size_t row = row_begin;
+  while (row < row_end) {
+    const std::uint32_t b = row_ptr[row];
+    const std::uint32_t length = row_ptr[row + 1] - b;
+    // Four consecutive rows of one length: their entries sit at stride
+    // `length`, so columns and values gather with one constant index
+    // vector per run.  Sequential accumulation over the entries matches
+    // the scalar per-row order for every length.
+    if (row + 4 <= row_end && length >= 1 && length <= kMaxGroupedLength &&
+        row_ptr[row + 2] == b + 2 * length &&
+        row_ptr[row + 3] == b + 3 * length &&
+        row_ptr[row + 4] == b + 4 * length) {
+      const __m128i stride =
+          _mm_set_epi32(static_cast<int>(3 * length),
+                        static_cast<int>(2 * length),
+                        static_cast<int>(length), 0);
+      __m256d acc = _mm256_setzero_pd();
+      for (std::uint32_t e = 0; e < length; ++e) {
+        const std::size_t base = b + e;
+        const __m128i cols = _mm_i32gather_epi32(
+            reinterpret_cast<const int*>(col_idx + base), stride, 4);
+        const __m256d xv = _mm256_i32gather_pd(x, cols, 8);
+        const __m256d vv = _mm256_i32gather_pd(values + base, stride, 8);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(vv, xv));
+      }
+      _mm256_storeu_pd(out + row, acc);
+      row += 4;
+    } else {
+      double acc = 0.0;
+      for (std::uint32_t k = b; k < row_ptr[row + 1]; ++k) {
+        acc += values[k] * x[col_idx[k]];
+      }
+      out[row] = acc;
+      ++row;
+    }
+  }
+}
+
+double avx2_plan_fused_rows(const std::uint8_t* lengths,
+                            const std::uint32_t* entry_start,
+                            const std::int16_t* offsets,
+                            const std::uint16_t* value_ids,
+                            const double* dictionary, const double* x,
+                            double* out, double* accum, double weight,
+                            std::size_t row_begin, std::size_t row_end) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d weight_v = _mm256_set1_pd(weight);
+  __m256d delta_v = _mm256_setzero_pd();
+  double delta = 0.0;
+  std::size_t k = entry_start[row_begin];
+  std::size_t row = row_begin;
+  while (row < row_end) {
+    const std::uint8_t length = lengths[row];
+    if (row + 4 <= row_end && length >= 1 && length <= 4 &&
+        lengths[row + 1] == length && lengths[row + 2] == length &&
+        lengths[row + 3] == length) {
+      // Entry e of the four rows: dictionary values and column offsets
+      // sit at stride `length`.  Lanes are composed from scalar loads --
+      // measured faster than vgatherdpd for this access pattern (the
+      // hardware gather's fixed uop cost exceeds four indexed loads on
+      // the tested microarchitectures).
+      const auto entry = [&](std::uint32_t e) {
+        const std::size_t k0 = k + e;
+        const std::size_t k1 = k0 + length;
+        const std::size_t k2 = k1 + length;
+        const std::size_t k3 = k2 + length;
+        const __m256d dv = _mm256_set_pd(
+            dictionary[value_ids[k3]], dictionary[value_ids[k2]],
+            dictionary[value_ids[k1]], dictionary[value_ids[k0]]);
+        const __m256d xv = _mm256_set_pd(
+            x[row + 3 + offsets[k3]], x[row + 2 + offsets[k2]],
+            x[row + 1 + offsets[k1]], x[row + offsets[k0]]);
+        return _mm256_mul_pd(dv, xv);
+      };
+      // Combine in the canonical per-length order of the scalar switch.
+      __m256d v = entry(0);
+      if (length == 2) {
+        v = _mm256_add_pd(v, entry(1));
+      } else if (length == 3) {
+        v = _mm256_add_pd(_mm256_add_pd(v, entry(1)), entry(2));
+      } else if (length == 4) {
+        v = _mm256_add_pd(_mm256_add_pd(v, entry(1)),
+                          _mm256_add_pd(entry(2), entry(3)));
+      }
+      _mm256_storeu_pd(out + row, v);
+      if (weight != 0.0) {
+        _mm256_storeu_pd(
+            accum + row,
+            _mm256_add_pd(_mm256_loadu_pd(accum + row),
+                          _mm256_mul_pd(weight_v, v)));
+      }
+      delta_v = _mm256_max_pd(
+          delta_v, _mm256_andnot_pd(
+                       sign_mask,
+                       _mm256_sub_pd(v, _mm256_loadu_pd(x + row))));
+      k += 4 * static_cast<std::size_t>(length);
+      row += 4;
+    } else {
+      // Ragged or long rows: the scalar switch, same orders as
+      // FusedGatherPlan's scalar kernel.
+      double v;
+      switch (length) {
+        case 0:
+          v = 0.0;
+          break;
+        case 1:
+          v = dictionary[value_ids[k]] * x[row + offsets[k]];
+          break;
+        case 2:
+          v = dictionary[value_ids[k]] * x[row + offsets[k]] +
+              dictionary[value_ids[k + 1]] * x[row + offsets[k + 1]];
+          break;
+        case 3:
+          v = dictionary[value_ids[k]] * x[row + offsets[k]] +
+              dictionary[value_ids[k + 1]] * x[row + offsets[k + 1]] +
+              dictionary[value_ids[k + 2]] * x[row + offsets[k + 2]];
+          break;
+        case 4:
+          v = (dictionary[value_ids[k]] * x[row + offsets[k]] +
+               dictionary[value_ids[k + 1]] * x[row + offsets[k + 1]]) +
+              (dictionary[value_ids[k + 2]] * x[row + offsets[k + 2]] +
+               dictionary[value_ids[k + 3]] * x[row + offsets[k + 3]]);
+          break;
+        default: {
+          double s0 = 0.0;
+          double s1 = 0.0;
+          std::uint8_t j = 0;
+          for (; j + 2 <= length; j += 2) {
+            s0 += dictionary[value_ids[k + j]] * x[row + offsets[k + j]];
+            s1 += dictionary[value_ids[k + j + 1]] *
+                  x[row + offsets[k + j + 1]];
+          }
+          if (j < length) {
+            s0 += dictionary[value_ids[k + j]] * x[row + offsets[k + j]];
+          }
+          v = s0 + s1;
+        }
+      }
+      out[row] = v;
+      if (weight != 0.0) accum[row] += weight * v;
+      delta = std::max(delta, std::abs(v - x[row]));
+      k += length;
+      ++row;
+    }
+  }
+  return std::max(delta, lane_max(delta_v));
+}
+
+}  // namespace kibamrm::linalg::kernels::detail
+
+#endif  // KIBAMRM_HAVE_AVX2_TIER

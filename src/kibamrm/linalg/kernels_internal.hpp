@@ -1,0 +1,58 @@
+// Private interface between the dispatching kernel entry points and the
+// AVX2 translation unit (kernels_avx2.cpp, compiled with -mavx2 and FP
+// contraction off).  Not installed; include only from linalg/*.cpp.
+//
+// Every avx2_* function implements exactly the canonical arithmetic order
+// documented at its scalar counterpart -- the bitwise-parity tests in
+// tests/test_linalg_kernels.cpp hold the two tiers together.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+// The AVX2 tier exists only on x86-64 GCC/Clang builds; elsewhere the
+// dispatcher never leaves the scalar tier and kernels_avx2.cpp compiles to
+// an empty TU.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define KIBAMRM_HAVE_AVX2_TIER 1
+#else
+#define KIBAMRM_HAVE_AVX2_TIER 0
+#endif
+
+namespace kibamrm::linalg::kernels::detail {
+
+#if KIBAMRM_HAVE_AVX2_TIER
+
+/// Block partials of the fixed-block pairwise dot (contract in
+/// kernels.hpp), blocks [block_begin, block_end).
+void avx2_dot_blocks(const double* a, const double* b, std::size_t n,
+                     std::size_t block_begin, std::size_t block_end,
+                     double* partials);
+
+void avx2_axpy(double alpha, const double* x, double* y, std::size_t n);
+
+void avx2_scale(double* v, double alpha, std::size_t n);
+
+/// CSR gather rows [row_begin, row_end): out[row] = dot(row, x) in the
+/// sequential per-row order of CsrMatrix::multiply_range.
+void avx2_csr_multiply_rows(const std::uint32_t* row_ptr,
+                            const std::uint32_t* col_idx,
+                            const double* values, const double* x,
+                            double* out, std::size_t row_begin,
+                            std::size_t row_end);
+
+/// Fused uniformisation step over the compressed row-offset plan layout
+/// (per-row canonical order of FusedGatherPlan::multiply_fused_range);
+/// returns the range-local sup-norm delta.  `entry_start` indexes the
+/// first stored entry of each row.
+double avx2_plan_fused_rows(const std::uint8_t* lengths,
+                            const std::uint32_t* entry_start,
+                            const std::int16_t* offsets,
+                            const std::uint16_t* value_ids,
+                            const double* dictionary, const double* x,
+                            double* out, double* accum, double weight,
+                            std::size_t row_begin, std::size_t row_end);
+
+#endif  // KIBAMRM_HAVE_AVX2_TIER
+
+}  // namespace kibamrm::linalg::kernels::detail

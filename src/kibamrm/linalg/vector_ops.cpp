@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/kernels.hpp"
 
 namespace kibamrm::linalg {
 
@@ -23,18 +24,18 @@ double sum(const std::vector<double>& v) {
 
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
   KIBAMRM_REQUIRE(a.size() == b.size(), "dot: size mismatch");
-  double total = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
-  return total;
+  // Dispatched fixed-block pairwise kernel: SIMD when available, and a
+  // result that no longer depends on which tier ran (see kernels.hpp).
+  return kernels::dot(a.data(), b.data(), a.size());
 }
 
 void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
   KIBAMRM_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  kernels::axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scale(std::vector<double>& v, double alpha) {
-  for (double& x : v) x *= alpha;
+  kernels::scale(v.data(), alpha, v.size());
 }
 
 void fill(std::vector<double>& v, double value) {

@@ -177,11 +177,80 @@ TEST(FusedGatherPlan, RangesComposeBitwise) {
   EXPECT_EQ(accum, accum_full);
 }
 
-TEST(FusedGatherPlan, RefusesWideOffsets) {
-  // An entry 40000 columns from its row cannot pack into int16.
-  CooBuilder builder(50000, 50000);
-  for (std::size_t i = 0; i < 50000; ++i) builder.add(i, i, 1.0);
-  builder.add(0, 40000, 0.5);
+TEST(FusedGatherPlan, WideOffsetsFallBackToColumnDelta) {
+  // A synthetic wide chain: couplings 40000 columns from the row escape
+  // the int16 row-offset layout, but every within-row column gap fits
+  // uint16, so the column-delta fallback layout takes over -- with the
+  // same bitwise result as the CSR kernel.
+  const std::size_t n = 50000;
+  const std::size_t span = 40000;
+  CooBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    if (i >= span) {
+      builder.add(i, i - span, 0.25);
+      off += 0.25;
+    }
+    if (i + span < n) {
+      builder.add(i, i + span, 0.15);
+      off += 0.15;
+    }
+    if (i + 1 < n) {
+      builder.add(i, i + 1, 0.1);
+      off += 0.1;
+    }
+    builder.add(i, i, 1.0 - off);
+  }
+  const CsrMatrix pt = builder.build();
+  const auto plan = FusedGatherPlan::build(pt);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->layout(), FusedGatherPlan::Layout::kColumnDelta);
+  EXPECT_EQ(plan->nonzeros(), pt.nonzeros());
+
+  const std::vector<double> x = random_vector(n, 7);
+  std::vector<double> out_csr(n, 0.0), accum_csr(n, 0.0);
+  std::vector<double> out_plan(n, 0.0), accum_plan(n, 0.0);
+  const double delta_csr =
+      pt.multiply_fused_range(x, out_csr, accum_csr, 0.5, 0, n);
+  const double delta_plan =
+      plan->multiply_fused_range(x, out_plan, accum_plan, 0.5, 0, n);
+  EXPECT_EQ(out_plan, out_csr);
+  EXPECT_EQ(accum_plan, accum_csr);
+  EXPECT_EQ(delta_plan, delta_csr);
+}
+
+TEST(FusedGatherPlan, ColumnDeltaHandlesLongRows) {
+  // Rows beyond the switch cases (>= 5 entries) exercise the incremental
+  // even/odd column walk of the delta kernel.
+  const std::size_t n = 40000;
+  CooBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.add(i, i, 0.5);
+    for (std::size_t e = 1; e <= 6; ++e) {
+      const std::size_t col = (i + 6001 * e) % n;
+      builder.add(i, col, 0.01 * static_cast<double>(e));
+    }
+  }
+  const CsrMatrix pt = builder.build();
+  const auto plan = FusedGatherPlan::build(pt);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->layout(), FusedGatherPlan::Layout::kColumnDelta);
+
+  const std::vector<double> x = random_vector(n, 8);
+  std::vector<double> out_csr(n, 0.0), accum_csr(n, 0.0);
+  std::vector<double> out_plan(n, 0.0), accum_plan(n, 0.0);
+  pt.multiply_fused_range(x, out_csr, accum_csr, 0.25, 0, n);
+  plan->multiply_fused_range(x, out_plan, accum_plan, 0.25, 0, n);
+  EXPECT_EQ(out_plan, out_csr);
+  EXPECT_EQ(accum_plan, accum_csr);
+}
+
+TEST(FusedGatherPlan, RefusesWideColumnGaps) {
+  // A within-row gap of 70000 columns fits neither int16 row offsets nor
+  // uint16 column deltas.
+  CooBuilder builder(80000, 80000);
+  for (std::size_t i = 0; i < 80000; ++i) builder.add(i, i, 1.0);
+  builder.add(0, 70000, 0.5);
   EXPECT_FALSE(FusedGatherPlan::build(builder.build()).has_value());
 }
 

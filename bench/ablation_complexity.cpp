@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   args.declare("csv").declare("full").declare("engine").declare("json")
       .declare("threads").declare("no-fuse").declare("no-detect")
-      .declare("kernels");
+      .declare("kernels").declare("reorder");
   args.validate();
   bench::apply_kernel_choice(args);
   const std::string engine =

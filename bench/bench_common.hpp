@@ -12,10 +12,18 @@
 //   --no-fuse       run the pre-fusion baseline uniformisation loop (the
 //                   measured reference of the CI fused-speedup gate)
 //   --no-detect     disable steady-state early termination
-//   --kernels T     pin the vector-kernel tier: scalar | avx2 | auto
-//                   (default auto = CPUID; results are bitwise identical
-//                   across tiers, the pin is for measurement and for
-//                   sanitizer runs)
+//   --kernels T     pin the vector-kernel tier:
+//                   scalar | avx2 | avx512 | mixed | auto
+//                   (default auto = CPUID; the double tiers are bitwise
+//                   identical, mixed trades float32 operand rounding for
+//                   throughput; the pin is for measurement and for
+//                   sanitizer runs.  An unavailable SIMD tier falls back
+//                   to the best supported one with a stderr note.)
+//   --reorder R     state ordering of the expanded chain:
+//                   none | level | rcm (default none; level packs the
+//                   charge-major runs the SIMD gather tiers vectorise
+//                   across, rcm minimises bandwidth -- results are
+//                   inverse-permuted, so curves agree with none)
 #pragma once
 
 #include <chrono>
@@ -42,7 +50,13 @@ namespace kibamrm::bench {
 
 /// The --kernels choice, validated; "auto" when absent.
 inline std::string kernel_choice(const common::CliArgs& args) {
-  return args.get_choice("kernels", "auto", {"auto", "scalar", "avx2"});
+  return args.get_choice("kernels", "auto",
+                         {"auto", "scalar", "avx2", "avx512", "mixed"});
+}
+
+/// The --reorder choice, validated; "none" when absent.
+inline std::string reorder_choice(const common::CliArgs& args) {
+  return args.get_choice("reorder", "none", {"none", "level", "rcm"});
 }
 
 /// Applies --kernels to the process-global dispatch immediately (so even
@@ -183,6 +197,7 @@ inline void apply_engine_tuning(const common::CliArgs& args,
   options.fused_kernels = !args.has("no-fuse");
   options.steady_state_detection = !args.has("no-detect");
   options.kernel_dispatch = kernel_choice(args);
+  options.reorder = reorder_choice(args);
 }
 
 inline void apply_engine_tuning(const common::CliArgs& args,
@@ -190,6 +205,7 @@ inline void apply_engine_tuning(const common::CliArgs& args,
   options.fused_kernels = !args.has("no-fuse");
   options.steady_state_detection = !args.has("no-detect");
   options.kernel_dispatch = kernel_choice(args);
+  options.reorder = reorder_choice(args);
 }
 
 /// One engine-backed approximation solve for the sweep drivers: constructs
@@ -249,6 +265,7 @@ inline BenchRecord& add_engine_record(BenchReport& report,
   return report.add_record()
       .field("engine", run.stats.engine)
       .field("kernels", active_kernel_name())
+      .field("reorder", run.stats.reorder)
       .field("delta", delta)
       .field("states", run.stats.expanded_states)
       .field("nonzeros", run.stats.generator_nonzeros)
@@ -256,6 +273,9 @@ inline BenchRecord& add_engine_record(BenchReport& report,
       .field("iterations_saved", run.stats.iterations_saved)
       .field("active_states", run.stats.active_states)
       .field("active_nonzeros", run.stats.active_nonzeros)
+      .field("matrix_bandwidth", run.stats.matrix_bandwidth)
+      .field("groupable_rows", run.stats.groupable_rows)
+      .field("longest_uniform_run", run.stats.longest_uniform_run)
       .field("krylov_dim", run.stats.krylov_dim)
       .field("substeps", run.stats.substeps)
       .field("hessenberg_expms", run.stats.hessenberg_expms)
@@ -273,6 +293,7 @@ inline BenchRecord& add_scenario_record(BenchReport& report,
   return report.add_record()
       .field("engine", result.stats.engine)
       .field("kernels", active_kernel_name())
+      .field("reorder", result.stats.reorder)
       .field("scenario", result.label)
       .field("delta", delta)
       .field("states", result.stats.expanded_states)
@@ -281,6 +302,9 @@ inline BenchRecord& add_scenario_record(BenchReport& report,
       .field("iterations_saved", result.stats.iterations_saved)
       .field("active_states", result.stats.active_states)
       .field("active_nonzeros", result.stats.active_nonzeros)
+      .field("matrix_bandwidth", result.stats.matrix_bandwidth)
+      .field("groupable_rows", result.stats.groupable_rows)
+      .field("longest_uniform_run", result.stats.longest_uniform_run)
       .field("krylov_dim", result.stats.krylov_dim)
       .field("substeps", result.stats.substeps)
       .field("hessenberg_expms", result.stats.hessenberg_expms)

@@ -21,10 +21,15 @@ int main(int argc, char** argv) {
   using namespace kibamrm;
   common::CliArgs args(argc, argv);
   args.declare("csv").declare("full").declare("points").declare("delta")
-      .declare("runs").declare("engine").declare("json");
+      .declare("runs").declare("engine").declare("json").declare("threads")
+      .declare("no-fuse").declare("no-detect").declare("kernels")
+      .declare("reorder");
   args.validate();
+  bench::apply_kernel_choice(args);
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());
+  const auto threads =
+      static_cast<std::size_t>(args.get_nonnegative_int("threads", 0));
 
   std::cout << "=== Figure 7: on/off lifetime CDF (C = 7200 As, c = 1, "
                "k = 0; engine = " << engine << ") ===\n\n";
@@ -45,8 +50,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> labels;
   std::vector<core::LifetimeCurve> curves;
   for (double delta : deltas) {
-    const auto run = bench::run_approximation(
-        model, {.delta = delta, .engine = engine}, times);
+    core::ApproximationOptions options{
+        .delta = delta, .engine = engine, .threads = threads};
+    bench::apply_engine_tuning(args, options);
+    const auto run = bench::run_approximation(model, options, times);
     if (run.skipped) continue;
     curves.push_back(*run.curve);
     labels.push_back("Delta=" + io::format_double(delta, 0));
@@ -56,7 +63,8 @@ int main(int argc, char** argv) {
               << " iterations (q = "
               << io::format_double(run.stats.uniformization_rate, 3)
               << ")\n";
-    bench::add_engine_record(report, run, delta);
+    bench::add_engine_record(report, run, delta)
+        .field("threads", bench::resolved_thread_count(engine, threads));
   }
   std::cout << "Paper quotes for Delta = 5: 2882 states, >3.2e6 nonzeros "
                "(two-well variant), >36000 iterations at t = 17000.\n\n";

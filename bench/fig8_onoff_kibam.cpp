@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   args.declare("csv").declare("full").declare("points").declare("delta")
       .declare("runs").declare("engine").declare("json").declare("threads")
       .declare("batch").declare("no-fuse").declare("no-detect")
-      .declare("kernels");
+      .declare("kernels").declare("reorder");
   args.validate();
   bench::apply_kernel_choice(args);
   const std::string engine =

@@ -48,20 +48,23 @@ linalg::CsrMatrix banded_stochastic(std::size_t n) {
 
 // --------------------------------------------------------------------
 // Dispatched kernel layer (linalg/kernels): dot/axpy/nrm2 and the fused
-// gather, scalar vs AVX2 vs pool-sharded.  The second benchmark argument
-// selects the tier (0 = scalar, 1 = avx2); SIMD rows are skipped on CPUs
-// without AVX2+FMA.  Results are bitwise identical across rows -- these
-// benches measure the cost of the contract, not different arithmetic.
+// gather, scalar vs SIMD vs pool-sharded.  The second benchmark argument
+// selects the tier (0 = scalar, 1 = avx2, 2 = avx512, 3 = mixed); SIMD
+// rows are skipped on CPUs without the ISA.  The double tiers are bitwise
+// identical -- those benches measure the cost of the contract, not
+// different arithmetic; the mixed tier trades float32 operand rounding
+// for bandwidth.
 
 namespace k = linalg::kernels;
 
 bool select_tier(benchmark::State& state) {
-  const bool avx2 = state.range(1) == 1;
-  if (avx2 && k::detected_dispatch() != k::Dispatch::kAvx2) {
-    state.SkipWithError("CPU lacks AVX2+FMA");
+  const auto tier = static_cast<k::Dispatch>(state.range(1));
+  if (tier != k::Dispatch::kMixed &&
+      static_cast<int>(k::detected_dispatch()) < static_cast<int>(tier)) {
+    state.SkipWithError("CPU lacks the requested SIMD tier");
     return false;
   }
-  k::set_dispatch(avx2 ? k::Dispatch::kAvx2 : k::Dispatch::kScalar);
+  k::set_dispatch(tier);
   return true;
 }
 
@@ -86,9 +89,9 @@ void BM_KernelDot(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * sizeof(double)));
 }
 BENCHMARK(BM_KernelDot)
-    ->Args({4096, 0})->Args({4096, 1})
-    ->Args({262144, 0})->Args({262144, 1})
-    ->Args({2097152, 0})->Args({2097152, 1});
+    ->Args({4096, 0})->Args({4096, 1})->Args({4096, 2})
+    ->Args({262144, 0})->Args({262144, 1})->Args({262144, 2})
+    ->Args({2097152, 0})->Args({2097152, 1})->Args({2097152, 2});
 
 void BM_KernelNrm2(benchmark::State& state) {
   if (!select_tier(state)) return;
@@ -117,8 +120,8 @@ void BM_KernelAxpy(benchmark::State& state) {
                           static_cast<std::int64_t>(3 * n * sizeof(double)));
 }
 BENCHMARK(BM_KernelAxpy)
-    ->Args({4096, 0})->Args({4096, 1})
-    ->Args({262144, 0})->Args({262144, 1});
+    ->Args({4096, 0})->Args({4096, 1})->Args({4096, 2})
+    ->Args({262144, 0})->Args({262144, 1})->Args({262144, 2});
 
 void BM_KernelDotSharded(benchmark::State& state) {
   // The sharded reduction exactly as linalg::arnoldi drives it: block
@@ -173,6 +176,65 @@ void BM_FusedGatherPlanKernelTier(benchmark::State& state) {
 BENCHMARK(BM_FusedGatherPlanKernelTier)
     ->Args({100000, 0})->Args({100000, 1})
     ->Args({1000000, 0})->Args({1000000, 1});
+
+void BM_FusedGatherReordered(benchmark::State& state) {
+  // The production fused gather on the *real* Delta = 25 fig8 chain,
+  // natural order vs the level-major reordering (range(0): 0 = none,
+  // 1 = level) across kernel tiers (range(1), as in select_tier).  The
+  // level ordering packs >99% of the compacted-transpose rows into
+  // identical-offset runs, which is what the AVX2/AVX-512 uniform-segment
+  // kernels vectorise across -- on natural order the SIMD tiers degrade
+  // to the scalar path, so the (1, tier) / (0, tier) ratio is the whole
+  // reordering win.  Feeds the perf history via record_history.py.
+  if (!select_tier(state)) return;
+  const bool mixed =
+      static_cast<k::Dispatch>(state.range(1)) == k::Dispatch::kMixed;
+  const core::KibamRmModel model(
+      workload::make_onoff_model({.frequency = 1.0, .erlang_k = 1,
+                                  .on_current = 0.96}),
+      {.capacity = 7200.0, .available_fraction = 0.625,
+       .flow_constant = 4.5e-5});
+  const auto expanded = core::build_expanded_chain(
+      model, 25.0,
+      state.range(0) == 1 ? core::StateOrdering::kLevel
+                          : core::StateOrdering::kNone);
+  const linalg::CsrMatrix p = expanded.chain.generator().uniformized(
+      1.02 * expanded.chain.max_exit_rate());
+  std::vector<std::uint32_t> seeds;
+  for (std::size_t i = 0; i < expanded.initial.size(); ++i) {
+    if (expanded.initial[i] != 0.0) {
+      seeds.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  const linalg::CsrMatrix pt = p.transposed_submatrix(p.reachable_rows(seeds));
+  const auto plan = linalg::FusedGatherPlan::build(pt);
+  const std::size_t n = pt.rows();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> out(n, 0.0);
+  std::vector<double> accum(n, 0.0);
+  std::vector<float> pi_f(pi.begin(), pi.end());
+  std::vector<float> out_f(n, 0.0f);
+  for (auto _ : state) {
+    if (mixed) {
+      benchmark::DoNotOptimize(
+          plan->multiply_fused_range_mixed(pi_f, out_f, accum, 1e-4, 0, n));
+      pi_f.swap(out_f);
+    } else {
+      benchmark::DoNotOptimize(
+          plan->multiply_fused_range(pi, out, accum, 1e-4, 0, n));
+      pi.swap(out);
+    }
+  }
+  k::clear_dispatch();
+  state.counters["uniform_fraction"] = plan->uniform_fraction();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(plan->nonzeros()));
+}
+BENCHMARK(BM_FusedGatherReordered)
+    ->Args({0, 0})->Args({1, 0})
+    ->Args({0, 1})->Args({1, 1})
+    ->Args({0, 2})->Args({1, 2})
+    ->Args({1, 3});
 
 void BM_CsrLeftMultiply(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

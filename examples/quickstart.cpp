@@ -8,7 +8,9 @@
 //
 // Build & run:
 //   ./examples/quickstart [--engine uniformization|adaptive|dense|parallel]
-//                         [--threads N] [--kernels auto|scalar|avx2]
+//                         [--threads N]
+//                         [--kernels auto|scalar|avx2|avx512|mixed]
+//                         [--reorder none|level|rcm]
 //
 // The engine flag swaps the transient solver behind the approximation; all
 // engines agree within solver tolerance (see tests/test_engine_backends).
@@ -30,10 +32,13 @@ int main(int argc, char** argv) {
 
   common::CliArgs args(argc, argv);
   args.declare("engine").declare("delta").declare("threads")
-      .declare("no-fuse").declare("no-detect").declare("kernels");
+      .declare("no-fuse").declare("no-detect").declare("kernels")
+      .declare("reorder");
   args.validate();
-  const std::string kernels =
-      args.get_choice("kernels", "auto", {"auto", "scalar", "avx2"});
+  const std::string kernels = args.get_choice(
+      "kernels", "auto", {"auto", "scalar", "avx2", "avx512", "mixed"});
+  const std::string reorder =
+      args.get_choice("reorder", "none", {"none", "level", "rcm"});
   const std::string engine =
       args.get_choice("engine", "uniformization", engine::backend_names());
   const auto threads =
@@ -69,9 +74,13 @@ int main(int argc, char** argv) {
               .fused_kernels = !args.has("no-fuse"),
               .steady_state_detection = !args.has("no-detect"),
               // --kernels pins the runtime-dispatched vector tier (the
-              // result is bitwise identical either way; scalar is the
-              // sanitizer-CI escape hatch).
-              .kernel_dispatch = kernels});
+              // double tiers are bitwise identical; scalar is the
+              // sanitizer-CI escape hatch) and --reorder renumbers the
+              // expanded chain's states (level packs the runs the SIMD
+              // gather tiers want; results are inverse-permuted, so the
+              // curve is the same either way).
+              .kernel_dispatch = kernels,
+              .reorder = reorder});
   const core::LifetimeCurve curve = solver.solve(times);
 
   // Monte-Carlo cross-check (1000 runs).

@@ -15,4 +15,18 @@ bool cpu_has_avx2_fma() {
 #endif
 }
 
+bool cpu_has_avx512() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  static const bool supported =
+      __builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512bw");
+  return supported;
+#else
+  return false;
+#endif
+}
+
 }  // namespace kibamrm::common

@@ -3,8 +3,9 @@
 // The library ships one binary per platform, not one per microarchitecture;
 // linalg/kernels picks its implementation tier at runtime from these bits.
 // Only the features a kernel tier actually gates on are exposed -- today
-// that is the AVX2+FMA class (the x86-64-v3 vector baseline the SIMD
-// gather and reduction kernels require).
+// the AVX2+FMA class (the x86-64-v3 vector baseline the SIMD gather and
+// reduction kernels require) and the AVX-512 F/DQ/VL/BW class the wide
+// uniform-run kernels require.
 #pragma once
 
 namespace kibamrm::common {
@@ -12,5 +13,11 @@ namespace kibamrm::common {
 /// True iff the executing CPU reports both AVX2 and FMA.  Always false on
 /// non-x86 builds.  The result is computed once and cached.
 bool cpu_has_avx2_fma();
+
+/// True iff the executing CPU reports AVX512F, AVX512DQ, AVX512VL and
+/// AVX512BW (the Skylake-SP server baseline the avx512 kernel tier is
+/// written against).  Always false on non-x86 builds; computed once and
+/// cached.
+bool cpu_has_avx512();
 
 }  // namespace kibamrm::common

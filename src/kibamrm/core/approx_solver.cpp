@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <utility>
 
+#include "kibamrm/linalg/kernels.hpp"
+
 namespace kibamrm::core {
 
 MarkovianApproximation::MarkovianApproximation(const KibamRmModel& model,
                                                ApproximationOptions options)
     : options_(std::move(options)),
-      expanded_(build_expanded_chain(model, options_.delta)),
+      expanded_(build_expanded_chain(model, options_.delta,
+                                     parse_state_ordering(options_.reorder))),
       backend_(engine::make_backend(
           options_.engine,
           {.epsilon = options_.epsilon,
@@ -23,6 +26,7 @@ MarkovianApproximation::MarkovianApproximation(const KibamRmModel& model,
   stats_.expanded_states = expanded_.grid.state_count();
   stats_.generator_nonzeros = expanded_.chain.generator().nonzeros();
   stats_.engine = options_.engine;
+  stats_.reorder = state_ordering_name(expanded_.ordering);
 }
 
 LifetimeCurve MarkovianApproximation::solve(const std::vector<double>& times) {
@@ -45,6 +49,9 @@ void absorb_backend_stats(ApproximationStats& stats,
   stats.substeps = backend.substeps;
   stats.hessenberg_expms = backend.hessenberg_expms;
   stats.krylov_ortho_work = backend.krylov_ortho_work;
+  stats.matrix_bandwidth = backend.matrix_bandwidth;
+  stats.groupable_rows = backend.groupable_rows;
+  stats.longest_uniform_run = backend.longest_uniform_run;
 }
 
 LifetimeCurve solve_empty_probability_curve(const ExpandedChain& expanded,
@@ -60,8 +67,13 @@ LifetimeCurve solve_empty_probability_curve(const ExpandedChain& expanded,
   // The iterative engines can leave round-off outside [0, 1] and small
   // CDF dips at the scale of their configured tolerance (with head-room
   // for accumulation over the curve); clamp that, anything larger is a
-  // bug and throws.
-  const double tolerance = std::max(1e-6, 10.0 * epsilon);
+  // bug and throws.  The mixed kernel tier carries float32 operand
+  // rounding (~1e-7 per product) through the power iteration, so its
+  // floor is the float scale, not the solver tolerance.
+  const bool mixed = linalg::kernels::active_dispatch() ==
+                     linalg::kernels::Dispatch::kMixed;
+  const double tolerance =
+      std::max(mixed ? 1e-3 : 1e-6, 10.0 * epsilon);
   sanitize_probabilities(probabilities, tolerance);
   return LifetimeCurve(times, std::move(probabilities), tolerance);
 }

@@ -42,10 +42,17 @@ struct ApproximationOptions {
   /// Steady-state / absorption early termination inside each Poisson
   /// window (uniformisation engines; requires fused_kernels).
   bool steady_state_detection = true;
-  /// Vector-kernel tier pin ("auto" / "scalar" / "avx2"), forwarded to
-  /// engine::BackendOptions::kernel_dispatch (process-global; results are
-  /// bitwise identical across tiers).
+  /// Vector-kernel tier pin ("auto" / "scalar" / "avx2" / "avx512" /
+  /// "mixed"), forwarded to engine::BackendOptions::kernel_dispatch
+  /// (process-global; the double tiers are bitwise identical, the mixed
+  /// tier trades float32 gather traffic for ~1e-6-level accuracy).
   std::string kernel_dispatch = "auto";
+  /// State ordering of the expanded chain ("none" / "level" / "rcm", see
+  /// core::StateOrdering).  Reordering never changes the solved curve --
+  /// it renumbers the states so the gather kernels see uniform row runs
+  /// -- and the ExpandedChain carries the permutation for anything that
+  /// reads raw distributions.
+  std::string reorder = "none";
 };
 
 /// Cost/shape diagnostics of one approximation run.
@@ -80,6 +87,16 @@ struct ApproximationStats {
   std::uint64_t substeps = 0;
   std::uint64_t hessenberg_expms = 0;
   std::uint64_t krylov_ortho_work = 0;
+  /// State ordering the expanded chain was built with ("none" when the
+  /// natural numbering was kept).
+  std::string reorder = "none";
+  /// Structure of the matrix the hot loop iterated (the compacted
+  /// transpose for the fused engines): maximal |col - row|, rows inside
+  /// >= 4-row equal-length runs (what the SIMD grouping can take) and the
+  /// longest such run.  0 for engines that do not report it.
+  std::uint64_t matrix_bandwidth = 0;
+  std::uint64_t groupable_rows = 0;
+  std::uint64_t longest_uniform_run = 0;
 };
 
 /// Copies the per-solve cost counters of a backend into the

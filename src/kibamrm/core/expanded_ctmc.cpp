@@ -1,22 +1,89 @@
 #include "kibamrm/core/expanded_ctmc.hpp"
 
+#include <utility>
+
 #include "kibamrm/common/error.hpp"
 
 namespace kibamrm::core {
+
+StateOrdering parse_state_ordering(std::string_view name) {
+  if (name == "none") return StateOrdering::kNone;
+  if (name == "level") return StateOrdering::kLevel;
+  if (name == "rcm") return StateOrdering::kRcm;
+  throw InvalidArgument("unknown state ordering '" + std::string(name) +
+                        "'; choices: none level rcm");
+}
+
+std::string_view state_ordering_name(StateOrdering ordering) {
+  switch (ordering) {
+    case StateOrdering::kLevel:
+      return "level";
+    case StateOrdering::kRcm:
+      return "rcm";
+    default:
+      return "none";
+  }
+}
+
+namespace {
+
+/// The level-major renumbering: a level axis becomes the innermost index
+/// so consecutive states differ by one level step and the transposed
+/// transition matrix gets its equal-length row runs.  Two-well grids put
+/// j2 innermost with the workload state between the wells -- every
+/// transition family then lands within n*(L2+1)+1 of the diagonal, the
+/// same bandwidth as the natural order, but with runs of ~L2 rows.
+/// Single-well grids (L2 = 0) put j1 innermost instead; the workload
+/// stride L1+1 stays far inside the compressed plan's int16 offset
+/// budget for every paper configuration.
+linalg::Permutation level_major_permutation(const LevelGrid& grid) {
+  const std::size_t n = grid.workload_states();
+  const std::size_t l1 = grid.available_levels();
+  const std::size_t l2 = grid.bound_levels();
+  std::vector<std::uint32_t> new_of_old(grid.state_count());
+  for (std::size_t j1 = 0; j1 <= l1; ++j1) {
+    for (std::size_t j2 = 0; j2 <= l2; ++j2) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t target =
+            l2 > 0 ? (j1 * n + i) * (l2 + 1) + j2 : i * (l1 + 1) + j1;
+        new_of_old[grid.index(i, j1, j2)] =
+            static_cast<std::uint32_t>(target);
+      }
+    }
+  }
+  return linalg::Permutation(std::move(new_of_old));
+}
+
+}  // namespace
 
 double ExpandedChain::empty_probability(const std::vector<double>& pi) const {
   KIBAMRM_REQUIRE(pi.size() == grid.state_count(),
                   "empty_probability: distribution size mismatch");
   double total = 0.0;
+  if (ordering == StateOrdering::kNone) {
+    for (std::size_t j2 = 0; j2 <= grid.bound_levels(); ++j2) {
+      for (std::size_t i = 0; i < grid.workload_states(); ++i) {
+        total += pi[grid.index(i, 0, j2)];
+      }
+    }
+    return total;
+  }
   for (std::size_t j2 = 0; j2 <= grid.bound_levels(); ++j2) {
     for (std::size_t i = 0; i < grid.workload_states(); ++i) {
-      total += pi[grid.index(i, 0, j2)];
+      total += pi[permutation[grid.index(i, 0, j2)]];
     }
   }
   return total;
 }
 
-ExpandedChain build_expanded_chain(const KibamRmModel& model, double delta) {
+std::vector<double> ExpandedChain::to_grid_order(
+    const std::vector<double>& pi) const {
+  if (ordering == StateOrdering::kNone) return pi;
+  return permutation.apply_inverse(pi);
+}
+
+ExpandedChain build_expanded_chain(const KibamRmModel& model, double delta,
+                                   StateOrdering ordering) {
   const LevelGrid grid(model, delta);
   const std::size_t n = grid.workload_states();
   const std::size_t l1 = grid.available_levels();
@@ -103,8 +170,32 @@ ExpandedChain build_expanded_chain(const KibamRmModel& model, double delta) {
     }
   }
 
-  return ExpandedChain{grid, markov::Ctmc(builder.build()),
-                       std::move(initial)};
+  linalg::CsrMatrix generator = builder.build();
+
+  // Renumber at build time: a symmetric permutation of the generator is
+  // the same chain (row sums, rates and absorbing layers all carried
+  // along), so every backend solves it unchanged; only the memory layout
+  // of the hot loops differs.  The permutation rides in the result so
+  // distributions map back to grid coordinates.
+  linalg::Permutation permutation;
+  switch (ordering) {
+    case StateOrdering::kNone:
+      permutation = linalg::Permutation::identity(grid.state_count());
+      break;
+    case StateOrdering::kLevel:
+      permutation = level_major_permutation(grid);
+      break;
+    case StateOrdering::kRcm:
+      permutation = linalg::Permutation::reverse_cuthill_mckee(generator);
+      break;
+  }
+  if (ordering != StateOrdering::kNone) {
+    generator = permutation.permuted(generator);
+    initial = permutation.apply(initial);
+  }
+
+  return ExpandedChain{grid, markov::Ctmc(std::move(generator)),
+                       std::move(initial), std::move(permutation), ordering};
 }
 
 }  // namespace kibamrm::core

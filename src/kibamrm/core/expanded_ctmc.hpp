@@ -11,27 +11,66 @@
 // *first* time the available charge hits zero, so no recovery is allowed
 // from there (Sec. 5.2).  The approximated quantity of interest is
 //     Pr{battery empty at t}  ~=  sum_i sum_{j2} pi_{(i,0,j2)}(t).
+//
+// State ordering: LevelGrid's natural numbering keeps the workload state
+// innermost, which interleaves the three transition families and leaves
+// the transposed transition matrix without any runs of equal-length rows
+// -- the structure the SIMD gather kernels group on.  build_expanded_chain
+// can renumber the states at build time (StateOrdering): "level" moves a
+// level axis innermost so consecutive states differ by one level step
+// (long uniform runs, same bandwidth), "rcm" applies reverse
+// Cuthill-McKee to the assembled generator.  The permutation is carried
+// in the ExpandedChain so distributions map back to grid coordinates;
+// solved curves are invariant under any ordering (the chain is the same
+// chain).
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "kibamrm/core/level_grid.hpp"
+#include "kibamrm/linalg/permutation.hpp"
 #include "kibamrm/markov/ctmc.hpp"
 
 namespace kibamrm::core {
 
-/// The derived chain together with its grid and initial distribution.
+/// State numbering of the expanded chain.
+enum class StateOrdering {
+  kNone,   ///< LevelGrid's natural numbering (workload state innermost)
+  kLevel,  ///< level-major: a level axis innermost, workload state outer
+  kRcm,    ///< reverse Cuthill-McKee on the assembled generator pattern
+};
+
+/// Parses "none" / "level" / "rcm"; throws InvalidArgument otherwise.
+StateOrdering parse_state_ordering(std::string_view name);
+
+std::string_view state_ordering_name(StateOrdering ordering);
+
+/// The derived chain together with its grid, initial distribution and the
+/// state permutation relating chain indices to grid indices.
 struct ExpandedChain {
   LevelGrid grid;
   markov::Ctmc chain;
+  /// Initial distribution alpha*, in chain (permuted) order.
   std::vector<double> initial;
+  /// Grid index -> chain state index; identity for StateOrdering::kNone.
+  linalg::Permutation permutation;
+  StateOrdering ordering = StateOrdering::kNone;
 
-  /// Pr{battery empty} under a transient distribution of `chain`.
+  /// Pr{battery empty} under a transient distribution of `chain` (given
+  /// in chain order, as the backends produce it).
   double empty_probability(const std::vector<double>& pi) const;
+
+  /// Inverse-permutes a chain-order distribution back to grid order, so
+  /// pi_grid[grid.index(i, j1, j2)] addresses it; pass-through for the
+  /// natural ordering.
+  std::vector<double> to_grid_order(const std::vector<double>& pi) const;
 };
 
 /// Builds Q*, the initial distribution alpha*, and the grid for the given
-/// model and step size.
-ExpandedChain build_expanded_chain(const KibamRmModel& model, double delta);
+/// model and step size, with states numbered per `ordering`.
+ExpandedChain build_expanded_chain(const KibamRmModel& model, double delta,
+                                   StateOrdering ordering =
+                                       StateOrdering::kNone);
 
 }  // namespace kibamrm::core

@@ -10,6 +10,7 @@
 #include "kibamrm/linalg/arnoldi.hpp"
 #include "kibamrm/linalg/expm.hpp"
 #include "kibamrm/linalg/kernels.hpp"
+#include "kibamrm/linalg/permutation.hpp"
 #include "kibamrm/linalg/vector_ops.hpp"
 
 namespace kibamrm::engine {
@@ -92,6 +93,10 @@ std::vector<std::vector<double>> KrylovBackend::solve(
   const std::size_t n = qt.rows();
   stats_.active_states = n;
   stats_.active_nonzeros = qt.nonzeros();
+  const linalg::StructureStats structure = linalg::structure_stats(qt);
+  stats_.matrix_bandwidth = structure.bandwidth;
+  stats_.groupable_rows = structure.groupable_rows;
+  stats_.longest_uniform_run = structure.longest_uniform_run;
   // ||Q^T||_1 = max_i sum_j |Q(i,j)| = 2 max_i exit_rate(i), exactly, for
   // a generator: the scale of the step-size heuristics.
   const double anorm = 2.0 * chain.max_exit_rate();

@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "kibamrm/linalg/fused_gather.hpp"
+#include "kibamrm/linalg/kernels.hpp"
+#include "kibamrm/linalg/permutation.hpp"
 #include "kibamrm/linalg/vector_ops.hpp"
 #include "kibamrm/markov/fox_glynn.hpp"
 
@@ -51,6 +53,8 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
   linalg::CsrMatrix pt =
       fused ? p.transposed_submatrix(reachable) : p.transposed();
   p = linalg::CsrMatrix(1, 1);  // only needed for setup; free before the loop
+  const linalg::StructureStats structure =
+      fused ? linalg::structure_stats(pt) : linalg::StructureStats{};
   // Compressed kernel plan (dictionary values + int16 offsets): bitwise
   // identical arithmetic to the CSR gather at roughly a third of the
   // memory traffic; chains that do not compress fall back to CSR.
@@ -71,6 +75,14 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
     pt = linalg::CsrMatrix(1, 1);  // the packed layout replaces the CSR copy
   }
 
+  // Mixed tier (see markov::TransientSolver): float32 power iteration with
+  // double accumulation, only where the row-offset gather plan provides the
+  // float kernel; sharding is unchanged -- each output entry is private to
+  // one shard, so the thread-count determinism guarantee carries over.
+  const bool mixed =
+      fused && plan && plan->mixed_supported() &&
+      linalg::kernels::active_dispatch() == linalg::kernels::Dispatch::kMixed;
+
   stats_ = BackendStats{};
   stats_.uniformization_rate = rate;
   stats_.time_points = times.size();
@@ -81,6 +93,9 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
   const double threshold = options_.epsilon / 2.0;
   stats_.active_states = fused ? reachable.size() : initial.size();
   stats_.active_nonzeros = loop_nonzeros;
+  stats_.matrix_bandwidth = structure.bandwidth;
+  stats_.groupable_rows = structure.groupable_rows;
+  stats_.longest_uniform_run = structure.longest_uniform_run;
 
   std::vector<std::vector<double>> results;
   if (options_.collect_distributions) results.reserve(times.size());
@@ -119,9 +134,19 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
           plan_.window(lambda, options_.epsilon);
       const markov::PoissonWindow& window = *window_ptr;
       linalg::fill(accum_, 0.0);
-      power_ = current;
+      if (mixed) {
+        power_f_.resize(current.size());
+        next_f_.resize(current.size());
+        for (std::size_t i = 0; i < current.size(); ++i) {
+          power_f_[i] = static_cast<float>(current[i]);
+        }
+      } else {
+        power_ = current;
+      }
+      // n = 0 term (current == pi(t_k) exactly; in mixed mode the double
+      // vector feeds the accumulator so the n = 0 term is full precision).
       if (window.left == 0) {
-        linalg::axpy(window.weight(0), power_, accum_);
+        linalg::axpy(window.weight(0), current, accum_);
       }
       std::uint64_t calm_steps = 0;  // consecutive steps inside the budget
       for (std::uint64_t n = 1; n <= window.right; ++n) {
@@ -129,6 +154,11 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
         double delta = 0.0;
         if (fused) {
           const auto fused_range = [&](std::size_t begin, std::size_t end) {
+            if (mixed) {
+              return plan->multiply_fused_range_mixed(power_f_, next_f_,
+                                                      accum_, weight, begin,
+                                                      end);
+            }
             return plan ? plan->multiply_fused_range(power_, next_, accum_,
                                                      weight, begin, end)
                         : pt.multiply_fused_range(power_, next_, accum_,
@@ -146,7 +176,11 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
           } else {
             delta = fused_range(0, loop_rows);
           }
-          power_.swap(next_);
+          if (mixed) {
+            power_f_.swap(next_f_);
+          } else {
+            power_.swap(next_);
+          }
         } else {
           if (use_pool) {
             pool_->parallel_for(
@@ -178,7 +212,14 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
               residual += window.weight(m);
             }
             if (residual > 0.0) {
-              linalg::axpy(residual, power_, accum_);
+              if (mixed) {
+                for (std::size_t i = 0; i < accum_.size(); ++i) {
+                  accum_[i] +=
+                      residual * static_cast<double>(power_f_[i]);
+                }
+              } else {
+                linalg::axpy(residual, power_, accum_);
+              }
             }
             stats_.iterations_saved += window.right - n;
             ++stats_.steady_state_hits;

@@ -62,6 +62,12 @@ class ParallelUniformizationBackend final : public TransientBackend {
   // Full-dimension buffer results and callbacks are expanded into when the
   // fused loop runs in the compacted reachable space.
   std::vector<double> full_point_;
+  // Mixed-tier float scratch (see markov::TransientSolver): the power
+  // iteration streams float32 while accum_ stays double; per-row
+  // arithmetic is partition-independent, so the thread-count determinism
+  // guarantee carries over to the mixed tier unchanged.
+  std::vector<float> power_f_;
+  std::vector<float> next_f_;
   // Per-shard sup-norm deltas from the fused kernel; reduced by max after
   // each product (max is order-independent, so the reduction preserves the
   // bitwise-deterministic guarantee).

@@ -41,6 +41,9 @@ std::vector<ScenarioResult> ScenarioBatch::solve_all(
       .steady_state_detection = options_.steady_state_detection,
       .kernel_dispatch = options_.kernel_dispatch};
 
+  const core::StateOrdering ordering =
+      core::parse_state_ordering(options_.reorder);
+
   std::vector<ScenarioResult> results(scenarios.size());
   std::vector<LaneScratch> lanes(pool_.thread_count());
 
@@ -57,9 +60,10 @@ std::vector<ScenarioResult> ScenarioBatch::solve_all(
         }
 
         const auto start = std::chrono::steady_clock::now();
-        const core::ExpandedChain expanded =
-            core::build_expanded_chain(scenario.model, scenario.delta);
+        const core::ExpandedChain expanded = core::build_expanded_chain(
+            scenario.model, scenario.delta, ordering);
         result.stats.engine = options_.engine;
+        result.stats.reorder = core::state_ordering_name(expanded.ordering);
         result.stats.expanded_states = expanded.grid.state_count();
         result.stats.generator_nonzeros =
             expanded.chain.generator().nonzeros();

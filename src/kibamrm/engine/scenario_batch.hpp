@@ -95,12 +95,15 @@ struct ScenarioBatchOptions {
   /// steady-state early termination (uniformisation engines).
   bool fused_kernels = true;
   bool steady_state_detection = true;
-  /// Vector-kernel tier pin ("auto" / "scalar" / "avx2"), forwarded to
-  /// every lane's BackendOptions::kernel_dispatch -- the pin is
-  /// process-global, so one batch option covers all lanes (the sanitizer
-  /// CI pins "scalar" here to keep reports readable).  Results are
-  /// bitwise identical across tiers.
+  /// Vector-kernel tier pin ("auto" / "scalar" / "avx2" / "avx512" /
+  /// "mixed"), forwarded to every lane's
+  /// BackendOptions::kernel_dispatch -- the pin is process-global, so one
+  /// batch option covers all lanes (the sanitizer CI pins "scalar" here
+  /// to keep reports readable).  The double tiers are bitwise identical.
   std::string kernel_dispatch = "auto";
+  /// State ordering of every expanded chain ("none" / "level" / "rcm");
+  /// see core::ApproximationOptions::reorder.
+  std::string reorder = "none";
 };
 
 class ScenarioBatch {

@@ -130,10 +130,12 @@ struct BackendOptions {
   bool krylov_adaptive_dim = true;
   /// Kernel dispatch for the linalg::kernels vector layer, applied
   /// process-globally by make_backend(): "auto" keeps the current process
-  /// setting (CPUID-detected unless already pinned), "scalar" / "avx2"
-  /// pin the tier for every engine and ScenarioBatch lane (results are
-  /// bitwise identical either way; the pin exists for measurement and for
-  /// sanitizer runs).  See linalg/kernels.hpp.
+  /// setting (CPUID-detected unless already pinned), "scalar" / "avx2" /
+  /// "avx512" pin a double tier (results are bitwise identical across
+  /// them; an unavailable tier falls back to the best supported one with
+  /// a stderr note), "mixed" selects the float32-gather throughput tier
+  /// of the fused uniformisation kernels (deterministic, ~1e-6-level
+  /// accuracy instead of bitwise).  See linalg/kernels.hpp.
   std::string kernel_dispatch = "auto";
 };
 
@@ -181,6 +183,15 @@ struct BackendStats {
   /// Krylov backend: small Hessenberg exponentials evaluated, including
   /// rejected trial steps (each one cached-Pade evaluation); 0 elsewhere.
   std::uint64_t hessenberg_expms = 0;
+  /// Structure of the matrix the hot loop iterates (the compacted
+  /// transpose for the fused uniformisation and krylov engines): maximal
+  /// |col - row|, rows inside >= 4-row equal-length runs -- the rows the
+  /// SIMD gather grouping can take, the metric state reordering exists to
+  /// raise -- and the longest such run.  0 for backends that do not
+  /// report it.
+  std::uint64_t matrix_bandwidth = 0;
+  std::uint64_t groupable_rows = 0;
+  std::uint64_t longest_uniform_run = 0;
 };
 
 /// Called with (index, time, distribution) as soon as each requested time

@@ -30,6 +30,9 @@ std::vector<std::vector<double>> UniformizationBackend::solve(
   stats_.windows_reused = solver.last_stats().windows_reused;
   stats_.active_states = solver.last_stats().active_states;
   stats_.active_nonzeros = solver.last_stats().active_nonzeros;
+  stats_.matrix_bandwidth = solver.last_stats().matrix_bandwidth;
+  stats_.groupable_rows = solver.last_stats().groupable_rows;
+  stats_.longest_uniform_run = solver.last_stats().longest_uniform_run;
   return results;
 }
 

@@ -93,8 +93,11 @@ void CsrMatrix::multiply_range(const std::vector<double>& x,
   // rows per SIMD group with the same sequential per-row accumulation
   // order, so scalar and SIMD results agree bitwise (the i32 gathers
   // bound the index range).
+  const kernels::Dispatch tier =
+      kernels::double_tier(kernels::active_dispatch());
   if (kernels::gather_grouping() &&
-      kernels::active_dispatch() == kernels::Dispatch::kAvx2 &&
+      (tier == kernels::Dispatch::kAvx2 ||
+       tier == kernels::Dispatch::kAvx512) &&
       cols_ <= static_cast<std::size_t>(
                    std::numeric_limits<std::int32_t>::max())) {
     kernels::detail::avx2_csr_multiply_rows(row_ptr_.data(), col_idx_.data(),

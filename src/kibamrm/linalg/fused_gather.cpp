@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <type_traits>
 #include <unordered_map>
 
 #include "kibamrm/common/error.hpp"
@@ -56,7 +57,14 @@ std::optional<FusedGatherPlan> FusedGatherPlan::build(
       plan.value_ids_[k] = it->second;
     }
   }
-  if (offsets_fit) return plan;
+  if (offsets_fit) {
+    plan.build_uniform_segments();
+    // float32 shadow dictionary for the mixed tier (a few KB; built
+    // eagerly so the mixed kernels never allocate).
+    plan.dictionary_f_.assign(plan.dictionary_.begin(),
+                              plan.dictionary_.end());
+    return plan;
+  }
 
   // Column-delta fallback: CSR columns are sorted ascending within a row,
   // so consecutive gaps are non-negative; any gap beyond uint16 defeats
@@ -84,6 +92,56 @@ std::optional<FusedGatherPlan> FusedGatherPlan::build(
   return plan;
 }
 
+void FusedGatherPlan::build_uniform_segments() {
+  // A uniform segment is a maximal run of consecutive rows sharing both
+  // their length (1-4, the canonical vector-combine widths) and their
+  // entire offset pattern; within one, entry e of neighbouring rows reads
+  // x at consecutive addresses.  Runs shorter than 8 rows are not worth a
+  // segment (the AVX-512 kernel processes 8 rows per group).
+  constexpr std::size_t kMinSegmentRows = 8;
+  const std::size_t n = lengths_.size();
+  std::size_t run_begin = 0;
+  const auto matches_previous = [&](std::size_t row) {
+    const std::uint8_t length = lengths_[row];
+    if (length != lengths_[row - 1]) return false;
+    const std::uint32_t k0 = entry_start_[row - 1];
+    const std::uint32_t k1 = entry_start_[row];
+    for (std::uint8_t e = 0; e < length; ++e) {
+      if (offsets_[k0 + e] != offsets_[k1 + e]) return false;
+    }
+    return true;
+  };
+  const auto flush = [&](std::size_t run_end) {
+    const std::size_t count = run_end - run_begin;
+    const std::uint32_t length = lengths_[run_begin];
+    if (count < kMinSegmentRows || length < 1 || length > 4) return;
+    UniformSegment segment;
+    segment.row_begin = static_cast<std::uint32_t>(run_begin);
+    segment.row_count = static_cast<std::uint32_t>(count);
+    segment.length = length;
+    segment.ids_base = static_cast<std::uint32_t>(segment_ids_.size());
+    // Transpose the dictionary ids entry-major so the kernels load the
+    // ids of one entry across 4/8 rows with a single contiguous read.
+    segment_ids_.resize(segment_ids_.size() + count * length);
+    std::uint16_t* ids = segment_ids_.data() + segment.ids_base;
+    for (std::size_t r = 0; r < count; ++r) {
+      const std::uint32_t k = entry_start_[run_begin + r];
+      for (std::uint32_t e = 0; e < length; ++e) {
+        ids[e * count + r] = value_ids_[k + e];
+      }
+    }
+    uniform_rows_ += count;
+    segments_.push_back(segment);
+  };
+  for (std::size_t row = 1; row < n; ++row) {
+    if (!matches_previous(row)) {
+      flush(row);
+      run_begin = row;
+    }
+  }
+  if (n > 0) flush(n);
+}
+
 double FusedGatherPlan::multiply_fused_range(const std::vector<double>& x,
                                              std::vector<double>& out,
                                              std::vector<double>& accum,
@@ -102,59 +160,49 @@ double FusedGatherPlan::multiply_fused_range(const std::vector<double>& x,
                                         row_end);
 }
 
-double FusedGatherPlan::fused_range_row_offset(
-    const std::vector<double>& x, std::vector<double>& out,
-    std::vector<double>& accum, double weight, std::size_t row_begin,
-    std::size_t row_end) const {
-#if KIBAMRM_HAVE_AVX2_TIER
-  // Row grouping is opt-in (see kernels::gather_grouping): the scalar
-  // per-length switch measured faster on gather-slow parts.
-  if (kernels::gather_grouping() &&
-      kernels::active_dispatch() == kernels::Dispatch::kAvx2 &&
-      rows() <= static_cast<std::size_t>(
-                    std::numeric_limits<std::int32_t>::max())) {
-    return kernels::detail::avx2_plan_fused_rows(
-        lengths_.data(), entry_start_.data(), offsets_.data(),
-        value_ids_.data(), dictionary_.data(), x.data(), out.data(),
-        accum.data(), weight, row_begin, row_end);
-  }
-#endif
+template <typename Value>
+double FusedGatherPlan::fused_rows_generic(const Value* x, Value* out,
+                                           double* accum,
+                                           const Value* dictionary,
+                                           double weight,
+                                           std::size_t row_begin,
+                                           std::size_t row_end) const {
   const std::uint8_t* lengths = lengths_.data();
   const std::int16_t* offsets = offsets_.data();
   const std::uint16_t* value_ids = value_ids_.data();
-  const double* dictionary = dictionary_.data();
-  const double* in = x.data();
   double delta = 0.0;
   std::size_t k = entry_start_[row_begin];
+  // One stored-entry product; for Value = double the casts are no-ops and
+  // the arithmetic is the historical scalar kernel unchanged, for Value =
+  // float each product promotes exactly to double (the mixed contract).
+  const auto term = [&](std::size_t row, std::size_t e) {
+    return static_cast<double>(dictionary[value_ids[e]]) *
+           static_cast<double>(x[row + offsets[e]]);
+  };
   for (std::size_t row = row_begin; row < row_end; ++row) {
     double v;
     // Canonical per-length evaluation order, mirrored exactly by
-    // CsrMatrix::multiply_fused_range and the AVX2 group kernel, so all
-    // kernels agree bitwise.
+    // CsrMatrix::multiply_fused_range and the SIMD kernels, so all
+    // double kernels agree bitwise.
     switch (lengths[row]) {
       case 0:
         v = 0.0;
         break;
       case 1:
-        v = dictionary[value_ids[k]] * in[row + offsets[k]];
+        v = term(row, k);
         k += 1;
         break;
       case 2:
-        v = dictionary[value_ids[k]] * in[row + offsets[k]] +
-            dictionary[value_ids[k + 1]] * in[row + offsets[k + 1]];
+        v = term(row, k) + term(row, k + 1);
         k += 2;
         break;
       case 3:
-        v = dictionary[value_ids[k]] * in[row + offsets[k]] +
-            dictionary[value_ids[k + 1]] * in[row + offsets[k + 1]] +
-            dictionary[value_ids[k + 2]] * in[row + offsets[k + 2]];
+        v = term(row, k) + term(row, k + 1) + term(row, k + 2);
         k += 3;
         break;
       case 4:
-        v = (dictionary[value_ids[k]] * in[row + offsets[k]] +
-             dictionary[value_ids[k + 1]] * in[row + offsets[k + 1]]) +
-            (dictionary[value_ids[k + 2]] * in[row + offsets[k + 2]] +
-             dictionary[value_ids[k + 3]] * in[row + offsets[k + 3]]);
+        v = (term(row, k) + term(row, k + 1)) +
+            (term(row, k + 2) + term(row, k + 3));
         k += 4;
         break;
       default: {
@@ -163,22 +211,156 @@ double FusedGatherPlan::fused_range_row_offset(
         std::uint8_t j = 0;
         const std::uint8_t length = lengths[row];
         for (; j + 2 <= length; j += 2) {
-          s0 += dictionary[value_ids[k + j]] * in[row + offsets[k + j]];
-          s1 +=
-              dictionary[value_ids[k + j + 1]] * in[row + offsets[k + j + 1]];
+          s0 += term(row, k + j);
+          s1 += term(row, k + j + 1);
         }
         if (j < length) {
-          s0 += dictionary[value_ids[k + j]] * in[row + offsets[k + j]];
+          s0 += term(row, k + j);
         }
         v = s0 + s1;
         k += length;
       }
     }
-    out[row] = v;
+    out[row] = static_cast<Value>(v);
     if (weight != 0.0) accum[row] += weight * v;
-    delta = std::max(delta, std::abs(v - in[row]));
+    delta = std::max(delta, std::abs(v - static_cast<double>(x[row])));
   }
   return delta;
+}
+
+template <typename Value>
+double FusedGatherPlan::fused_segments_simd(
+    const Value* x, Value* out, double* accum, const Value* dictionary,
+    double weight, std::size_t row_begin, std::size_t row_end,
+    bool use_avx512) const {
+#if !KIBAMRM_HAVE_AVX2_TIER
+  (void)use_avx512;
+  return fused_rows_generic(x, out, accum, dictionary, weight, row_begin,
+                            row_end);
+#else
+  // First segment that can still cover row_begin.
+  std::size_t si =
+      std::partition_point(segments_.begin(), segments_.end(),
+                           [&](const UniformSegment& segment) {
+                             return segment.row_begin + segment.row_count <=
+                                    row_begin;
+                           }) -
+      segments_.begin();
+  double delta = 0.0;
+  std::size_t row = row_begin;
+  while (row < row_end) {
+    if (si < segments_.size() && segments_[si].row_begin <= row) {
+      const UniformSegment& segment = segments_[si];
+      const std::size_t segment_end = segment.row_begin + segment.row_count;
+      const std::size_t end = std::min(row_end, segment_end);
+      const std::int16_t* offsets =
+          offsets_.data() + entry_start_[segment.row_begin];
+      const std::uint16_t* ids = segment_ids_.data() + segment.ids_base;
+      const std::size_t local = row - segment.row_begin;
+      double segment_delta;
+      if constexpr (std::is_same_v<Value, double>) {
+#if KIBAMRM_HAVE_AVX512_TIER
+        if (use_avx512) {
+          segment_delta = kernels::detail::avx512_plan_uniform_rows(
+              segment.length, offsets, ids, segment.row_count, local,
+              dictionary, x, out, accum, weight, row, end);
+        } else
+#endif
+        {
+          segment_delta = kernels::detail::avx2_plan_uniform_rows(
+              segment.length, offsets, ids, segment.row_count, local,
+              dictionary, x, out, accum, weight, row, end);
+        }
+      } else {
+#if KIBAMRM_HAVE_AVX512_TIER
+        if (use_avx512) {
+          segment_delta = kernels::detail::avx512_plan_uniform_rows_mixed(
+              segment.length, offsets, ids, segment.row_count, local,
+              dictionary, x, out, accum, weight, row, end);
+        } else
+#endif
+        {
+          segment_delta = kernels::detail::avx2_plan_uniform_rows_mixed(
+              segment.length, offsets, ids, segment.row_count, local,
+              dictionary, x, out, accum, weight, row, end);
+        }
+      }
+      delta = std::max(delta, segment_delta);
+      row = end;
+      if (row >= segment_end) ++si;
+    } else {
+      const std::size_t end =
+          si < segments_.size()
+              ? std::min<std::size_t>(row_end, segments_[si].row_begin)
+              : row_end;
+      delta = std::max(delta, fused_rows_generic(x, out, accum, dictionary,
+                                                 weight, row, end));
+      row = end;
+    }
+  }
+  return delta;
+#endif
+}
+
+double FusedGatherPlan::fused_range_row_offset(
+    const std::vector<double>& x, std::vector<double>& out,
+    std::vector<double>& accum, double weight, std::size_t row_begin,
+    std::size_t row_end) const {
+#if KIBAMRM_HAVE_AVX2_TIER
+  const kernels::Dispatch tier =
+      kernels::double_tier(kernels::active_dispatch());
+  const bool simd = tier == kernels::Dispatch::kAvx2 ||
+                    tier == kernels::Dispatch::kAvx512;
+  // Uniform segments dispatch automatically under any SIMD tier: the
+  // across-row kernels replace gathers with contiguous loads, which wins
+  // wherever segments exist at all (they only exist on reordered chains).
+  if (simd && !segments_.empty()) {
+    return fused_segments_simd(x.data(), out.data(), accum.data(),
+                               dictionary_.data(), weight, row_begin,
+                               row_end, tier == kernels::Dispatch::kAvx512);
+  }
+  // The legacy within-row gather grouping stays opt-in (see
+  // kernels::gather_grouping): the scalar per-length switch measured
+  // faster on gather-slow parts.
+  if (kernels::gather_grouping() && simd &&
+      rows() <= static_cast<std::size_t>(
+                    std::numeric_limits<std::int32_t>::max())) {
+    return kernels::detail::avx2_plan_fused_rows(
+        lengths_.data(), entry_start_.data(), offsets_.data(),
+        value_ids_.data(), dictionary_.data(), x.data(), out.data(),
+        accum.data(), weight, row_begin, row_end);
+  }
+#endif
+  return fused_rows_generic(x.data(), out.data(), accum.data(),
+                            dictionary_.data(), weight, row_begin, row_end);
+}
+
+double FusedGatherPlan::multiply_fused_range_mixed(
+    const std::vector<float>& x, std::vector<float>& out,
+    std::vector<double>& accum, double weight, std::size_t row_begin,
+    std::size_t row_end) const {
+  KIBAMRM_REQUIRE(mixed_supported(),
+                  "FusedGatherPlan: mixed kernels need the row-offset "
+                  "layout");
+  KIBAMRM_REQUIRE(x.size() == rows() && out.size() == rows() &&
+                      accum.size() == rows(),
+                  "FusedGatherPlan: vectors not sized to rows()");
+  KIBAMRM_REQUIRE(row_begin <= row_end && row_end <= rows(),
+                  "FusedGatherPlan: invalid row range");
+#if KIBAMRM_HAVE_AVX2_TIER
+  const kernels::Dispatch tier =
+      kernels::double_tier(kernels::active_dispatch());
+  if ((tier == kernels::Dispatch::kAvx2 ||
+       tier == kernels::Dispatch::kAvx512) &&
+      !segments_.empty()) {
+    return fused_segments_simd(x.data(), out.data(), accum.data(),
+                               dictionary_f_.data(), weight, row_begin,
+                               row_end, tier == kernels::Dispatch::kAvx512);
+  }
+#endif
+  return fused_rows_generic(x.data(), out.data(), accum.data(),
+                            dictionary_f_.data(), weight, row_begin,
+                            row_end);
 }
 
 double FusedGatherPlan::fused_range_column_delta(

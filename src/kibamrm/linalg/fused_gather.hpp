@@ -18,6 +18,22 @@
 //                  equal-length rows evaluate four rows per AVX2 gather
 //                  group when the avx2 kernel tier is active.
 //
+//                  Additionally, build() detects UNIFORM SEGMENTS -- runs
+//                  of consecutive rows that share both their length (1-4)
+//                  and their entire column-offset pattern.  On a
+//                  level-major-reordered battery chain (see
+//                  core::StateOrdering::kLevel) ~99% of rows fall into
+//                  such segments, and within one the x operands of entry
+//                  e across neighbouring rows are CONTIGUOUS: the SIMD
+//                  kernels vectorise across rows (one row per lane, 8 for
+//                  AVX-512 / 4 for AVX2) with plain vector loads for x, a
+//                  cache-resident dictionary gather for the values, and
+//                  the unchanged per-row canonical order -- so the
+//                  segment kernels stay inside the bitwise contract.
+//                  Segment dispatch is automatic whenever a SIMD tier is
+//                  active (unlike the opt-in legacy row-group gather,
+//                  which loses on unordered chains).
+//
 //   kColumnDelta   fallback for wide chains whose column offsets escape
 //                  int16: per-row absolute first column (uint32) plus
 //                  uint16 deltas between consecutive columns -- CSR
@@ -66,6 +82,21 @@ class FusedGatherPlan {
 
   Layout layout() const { return layout_; }
 
+  /// Fraction of rows covered by uniform segments (identical length and
+  /// offset pattern, runs of >= 8 rows).  ~0 for naturally-ordered
+  /// battery chains, ~0.99 after level-major reordering.
+  double uniform_fraction() const {
+    return lengths_.empty()
+               ? 0.0
+               : static_cast<double>(uniform_rows_) /
+                     static_cast<double>(lengths_.size());
+  }
+
+  /// Whether multiply_fused_range_mixed is available: the row-offset
+  /// layout carries a float32 shadow dictionary, the column-delta
+  /// fallback does not.
+  bool mixed_supported() const { return layout_ == Layout::kRowOffset; }
+
   /// Same contract and bitwise-identical result as
   /// CsrMatrix::multiply_fused_range on the source matrix: for rows in
   /// [row_begin, row_end) computes out[row] = dot(row, x), accumulates
@@ -77,6 +108,20 @@ class FusedGatherPlan {
                               std::vector<double>& accum, double weight,
                               std::size_t row_begin,
                               std::size_t row_end) const;
+
+  /// Mixed-precision fused step (requires mixed_supported()): reads x as
+  /// float32, writes out as float32, accumulates accum[row] += weight *
+  /// sum in DOUBLE -- each product is (double)value_f * (double)x_f,
+  /// which is exact, so only the float32 operand rounding (~1e-7
+  /// relative) is lost per entry.  Deterministic across threads and row
+  /// partitions (per-row arithmetic is partition-independent), but NOT
+  /// bitwise comparable to the double kernels.  Returns the range-local
+  /// max |sum - (double)x[row]|.
+  double multiply_fused_range_mixed(const std::vector<float>& x,
+                                    std::vector<float>& out,
+                                    std::vector<double>& accum,
+                                    double weight, std::size_t row_begin,
+                                    std::size_t row_end) const;
 
  private:
   FusedGatherPlan() = default;
@@ -92,14 +137,44 @@ class FusedGatherPlan {
                                   std::size_t row_begin,
                                   std::size_t row_end) const;
 
+  /// One maximal run of rows sharing length (1-4) and offset pattern.
+  struct UniformSegment {
+    std::uint32_t row_begin = 0;
+    std::uint32_t row_count = 0;
+    std::uint32_t length = 0;
+    std::uint32_t ids_base = 0;  ///< offset into segment_ids_
+  };
+
+  void build_uniform_segments();
+
+  template <typename Value>
+  double fused_rows_generic(const Value* x, Value* out, double* accum,
+                            const Value* dictionary, double weight,
+                            std::size_t row_begin, std::size_t row_end) const;
+
+  /// Walks [row_begin, row_end) alternating between uniform segments
+  /// (vectorised kernel, 8 or 4 rows per group) and the canonical scalar
+  /// span between them.
+  template <typename Value>
+  double fused_segments_simd(const Value* x, Value* out, double* accum,
+                             const Value* dictionary, double weight,
+                             std::size_t row_begin, std::size_t row_end,
+                             bool use_avx512) const;
+
   Layout layout_ = Layout::kRowOffset;
   std::vector<std::uint8_t> lengths_;      // stored entries per row
   std::vector<std::uint32_t> entry_start_; // per-row entry offset (size rows+1);
                                            // read once per kernel call, not per row
   std::vector<std::uint16_t> value_ids_;   // dictionary index, per entry
   std::vector<double> dictionary_;         // distinct values, exact bit patterns
+  std::vector<float> dictionary_f_;        // float32 shadow for the mixed tier
   // kRowOffset layout:
   std::vector<std::int16_t> offsets_;      // column - row, per entry
+  // Uniform segments (kRowOffset only), ascending by row_begin:
+  std::vector<UniformSegment> segments_;
+  std::vector<std::uint16_t> segment_ids_; // entry-major transposed ids:
+                                           // ids_base + e*row_count + r
+  std::size_t uniform_rows_ = 0;           // rows covered by segments_
   // kColumnDelta layout:
   std::vector<std::uint32_t> first_col_;   // absolute column of entry 0, per row
   std::vector<std::uint16_t> deltas_;      // column gap to the previous entry

@@ -97,6 +97,9 @@ std::vector<double>& partials_scratch(std::size_t blocks) {
 }  // namespace
 
 Dispatch detected_dispatch() {
+  if (KIBAMRM_HAVE_AVX512_TIER && common::cpu_has_avx512()) {
+    return Dispatch::kAvx512;
+  }
   return common::cpu_has_avx2_fma() && KIBAMRM_HAVE_AVX2_TIER
              ? Dispatch::kAvx2
              : Dispatch::kScalar;
@@ -108,10 +111,17 @@ Dispatch active_dispatch() {
   return pin == kNoPin ? detected_dispatch() : static_cast<Dispatch>(pin);
 }
 
+Dispatch double_tier(Dispatch dispatch) {
+  return dispatch == Dispatch::kMixed ? detected_dispatch() : dispatch;
+}
+
 void set_dispatch(Dispatch dispatch) {
-  KIBAMRM_REQUIRE(dispatch != Dispatch::kAvx2 ||
-                      detected_dispatch() == Dispatch::kAvx2,
-                  "cannot pin avx2 kernels: CPU lacks AVX2+FMA");
+  if (dispatch == Dispatch::kAvx2 || dispatch == Dispatch::kAvx512) {
+    KIBAMRM_REQUIRE(
+        static_cast<int>(detected_dispatch()) >= static_cast<int>(dispatch),
+        "cannot pin " + std::string(dispatch_name(dispatch)) +
+            " kernels: CPU lacks the required ISA extensions");
+  }
   g_pin.store(static_cast<int>(dispatch), std::memory_order_relaxed);
 }
 
@@ -127,19 +137,49 @@ void set_gather_grouping(bool enabled) {
 }
 
 std::string_view dispatch_name(Dispatch dispatch) {
-  return dispatch == Dispatch::kAvx2 ? "avx2" : "scalar";
+  switch (dispatch) {
+    case Dispatch::kAvx2:
+      return "avx2";
+    case Dispatch::kAvx512:
+      return "avx512";
+    case Dispatch::kMixed:
+      return "mixed";
+    default:
+      return "scalar";
+  }
 }
 
 std::optional<Dispatch> parse_dispatch(std::string_view name) {
   if (name == "auto") return std::nullopt;
   if (name == "scalar") return Dispatch::kScalar;
   if (name == "avx2") return Dispatch::kAvx2;
+  if (name == "avx512") return Dispatch::kAvx512;
+  if (name == "mixed") return Dispatch::kMixed;
   throw InvalidArgument("unknown kernel dispatch '" + std::string(name) +
-                        "'; choices: auto scalar avx2");
+                        "'; choices: auto scalar avx2 avx512 mixed");
 }
 
 void apply_dispatch(std::string_view name) {
-  if (const auto parsed = parse_dispatch(name)) set_dispatch(*parsed);
+  const auto parsed = parse_dispatch(name);
+  if (!parsed) {
+    clear_dispatch();  // "auto": drop any earlier pin, back to CPUID
+    return;
+  }
+  const Dispatch requested = *parsed;
+  if ((requested == Dispatch::kAvx2 || requested == Dispatch::kAvx512) &&
+      static_cast<int>(detected_dispatch()) < static_cast<int>(requested)) {
+    // CLI flags and env pins travel in scripts shared across machines; a
+    // request this CPU cannot honour degrades to the best tier it can
+    // (results of the double tiers are bitwise identical anyway).
+    const Dispatch fallback = detected_dispatch();
+    std::fprintf(stderr,
+                 "kibamrm: %s kernels unavailable on this CPU; using %s\n",
+                 std::string(dispatch_name(requested)).c_str(),
+                 std::string(dispatch_name(fallback)).c_str());
+    set_dispatch(fallback);
+    return;
+  }
+  set_dispatch(requested);
 }
 
 std::size_t block_count(std::size_t n) {
@@ -149,8 +189,16 @@ std::size_t block_count(std::size_t n) {
 void dot_blocks(const double* a, const double* b, std::size_t n,
                 std::size_t block_begin, std::size_t block_end,
                 double* partials) {
+  const Dispatch tier = double_tier(active_dispatch());
+  (void)tier;
+#if KIBAMRM_HAVE_AVX512_TIER
+  if (tier == Dispatch::kAvx512) {
+    detail::avx512_dot_blocks(a, b, n, block_begin, block_end, partials);
+    return;
+  }
+#endif
 #if KIBAMRM_HAVE_AVX2_TIER
-  if (active_dispatch() == Dispatch::kAvx2) {
+  if (tier == Dispatch::kAvx2) {
     detail::avx2_dot_blocks(a, b, n, block_begin, block_end, partials);
     return;
   }
@@ -179,8 +227,16 @@ double nrm2(const double* v, std::size_t n) {
 }
 
 void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  const Dispatch tier = double_tier(active_dispatch());
+  (void)tier;
+#if KIBAMRM_HAVE_AVX512_TIER
+  if (tier == Dispatch::kAvx512) {
+    detail::avx512_axpy(alpha, x, y, n);
+    return;
+  }
+#endif
 #if KIBAMRM_HAVE_AVX2_TIER
-  if (active_dispatch() == Dispatch::kAvx2) {
+  if (tier == Dispatch::kAvx2) {
     detail::avx2_axpy(alpha, x, y, n);
     return;
   }
@@ -189,8 +245,16 @@ void axpy(double alpha, const double* x, double* y, std::size_t n) {
 }
 
 void scale(double* v, double alpha, std::size_t n) {
+  const Dispatch tier = double_tier(active_dispatch());
+  (void)tier;
+#if KIBAMRM_HAVE_AVX512_TIER
+  if (tier == Dispatch::kAvx512) {
+    detail::avx512_scale(v, alpha, n);
+    return;
+  }
+#endif
 #if KIBAMRM_HAVE_AVX2_TIER
-  if (active_dispatch() == Dispatch::kAvx2) {
+  if (tier == Dispatch::kAvx2) {
     detail::avx2_scale(v, alpha, n);
     return;
   }

@@ -1,10 +1,11 @@
 // Runtime-dispatched dense vector kernels with a deterministic reduction
 // contract -- the shared substrate of every hot loop in the library.
 //
-// Two implementation tiers exist behind one entry point each: a portable
-// scalar tier and an AVX2 tier (picked at runtime via CPUID, see
-// common/cpu_features).  Both tiers honour the same arithmetic contract,
-// so a solver's result is bitwise identical whichever tier executes it:
+// Four implementation tiers exist behind one entry point each: a portable
+// scalar tier, an AVX2 tier, an AVX-512 tier (picked at runtime via CPUID,
+// see common/cpu_features) and a mixed-precision throughput tier.  The
+// three double tiers honour the same arithmetic contract, so a solver's
+// result is bitwise identical whichever of them executes it:
 //
 //   * Element-wise kernels (axpy, scale) round each element independently;
 //     scalar and SIMD agree bitwise by construction.  Both tiers are built
@@ -27,10 +28,26 @@
 //     single-thread dot() bit for bit, for every shard partition that
 //     splits on block boundaries.
 //
+//   * The AVX-512 tier holds the same sixteen reduction lanes in two zmm
+//     registers and folds them through the identical register-pairwise
+//     tree, so it stays inside the bitwise contract; its masked-tail
+//     loops only appear in the element-wise kernels, where per-element
+//     rounding makes order irrelevant.
+//
+// The mixed tier (Dispatch::kMixed) is the exception by design: sparse
+// row kernels that have a float32 path (FusedGatherPlan's row-offset
+// layout) stream float operands and accumulate every product in double
+// (float x float promotes exactly, so only the operand rounding is lost
+// -- ~1e-7 relative per entry).  It is deterministic across threads and
+// run-to-run, but NOT bitwise comparable to the double tiers; dense
+// kernels under kMixed simply run the best double tier
+// (double_tier()).  Solvers that opt in widen their sanity tolerances.
+//
 // The active tier is process-global: CPUID picks the default, the
-// KIBAMRM_KERNELS environment variable ("scalar" / "avx2" / "auto")
-// overrides it at startup, and set_dispatch() pins it programmatically
-// (CLI --kernels, BackendOptions::kernel_dispatch, sanitizer CI).
+// KIBAMRM_KERNELS environment variable ("scalar" / "avx2" / "avx512" /
+// "mixed" / "auto") overrides it at startup, and set_dispatch() pins it
+// programmatically (CLI --kernels, BackendOptions::kernel_dispatch,
+// sanitizer CI).
 #pragma once
 
 #include <cstddef>
@@ -46,45 +63,63 @@ inline constexpr std::size_t kBlockDoubles = 256;
 enum class Dispatch {
   kScalar = 0,  ///< portable tier, no ISA requirements
   kAvx2 = 1,    ///< AVX2 gather/vector tier (requires AVX2+FMA CPUID bits)
+  kAvx512 = 2,  ///< AVX-512 tier (requires the F/DQ/VL/BW CPUID bits)
+  kMixed = 3,   ///< float32-operand sparse rows, double accumulation
 };
 
-/// Best tier the executing CPU supports (cached CPUID probe), before any
-/// override.
+/// Best double-precision tier the executing CPU supports (cached CPUID
+/// probe), before any override.  Never returns kMixed -- mixed precision
+/// is a deliberate accuracy trade that must be requested explicitly.
 Dispatch detected_dispatch();
 
 /// Tier the kernels will actually run: the pinned override if one is set
 /// (set_dispatch or KIBAMRM_KERNELS), else detected_dispatch().
 Dispatch active_dispatch();
 
-/// Pins the active tier process-wide.  Pinning kAvx2 on a CPU without
-/// AVX2 throws InvalidArgument.  Thread-safe; takes effect on the next
-/// kernel call.
+/// Double-precision tier a given dispatch executes the dense kernels
+/// with: identity for the double tiers, detected_dispatch() for kMixed
+/// (mixed precision only changes the sparse row kernels that have a
+/// float path).
+Dispatch double_tier(Dispatch dispatch);
+
+/// Pins the active tier process-wide.  Pinning a SIMD tier the CPU lacks
+/// throws InvalidArgument (use apply_dispatch for the forgiving CLI/env
+/// behaviour).  kMixed is always accepted: its sparse kernels have a
+/// scalar implementation and its dense kernels run the detected double
+/// tier.  Thread-safe; takes effect on the next kernel call.
 void set_dispatch(Dispatch dispatch);
 
 /// Clears any pin (set_dispatch or KIBAMRM_KERNELS): back to CPUID.
 void clear_dispatch();
 
-/// "scalar" / "avx2".
+/// "scalar" / "avx2" / "avx512" / "mixed".
 std::string_view dispatch_name(Dispatch dispatch);
 
-/// Parses "scalar" / "avx2" / "auto"; "auto" -> nullopt (no pin), anything
-/// else throws InvalidArgument listing the choices.
+/// Parses "scalar" / "avx2" / "avx512" / "mixed" / "auto"; "auto" ->
+/// nullopt (no pin), anything else throws InvalidArgument listing the
+/// choices.
 std::optional<Dispatch> parse_dispatch(std::string_view name);
 
-/// Applies a BackendOptions/CLI-style dispatch string: "auto" leaves the
-/// process state untouched, a tier name pins it via set_dispatch().
+/// Applies a BackendOptions/CLI-style dispatch string: "auto" clears any
+/// earlier pin (back to CPUID), a tier name pins it via set_dispatch().
+/// Unlike set_dispatch, a SIMD tier the CPU cannot run does not throw: it
+/// falls back to the best supported tier and says so once on stderr --
+/// one build's flags/scripts stay portable across heterogeneous fleets.
 void apply_dispatch(std::string_view name);
 
-/// Whether the AVX2 tier also routes the sparse row kernels
-/// (FusedGatherPlan, CsrMatrix::multiply_range) through the four-rows-
-/// per-group SIMD gather implementations.  Default OFF: hardware
-/// vgatherdpd was measured 1.1-1.4x *slower* than the tuned scalar
-/// per-length switch for these access patterns on every
+/// Whether the SIMD tiers also route the sparse row kernels
+/// (FusedGatherPlan, CsrMatrix::multiply_range) through the legacy
+/// four-rows-per-group *within-row* gather implementations.  Default
+/// OFF: hardware vgatherdpd was measured 1.1-1.4x *slower* than the
+/// tuned scalar per-length switch for that access pattern on every
 /// microarchitecture tested (the row kernels are load-bound, and a
-/// gather's fixed uop cost exceeds four indexed scalar loads there) --
-/// the AVX2 tier's wins live in the reduction/axpy kernels.  The grouped
-/// kernels stay implemented, parity-tested and benchmarked so
-/// gather-fast parts can flip them on: set_gather_grouping(true) or
+/// gather's fixed uop cost exceeds four indexed scalar loads there).
+/// This knob is now largely superseded by the uniform-segment kernels,
+/// which vectorise *across* rows on reordered chains (lane = row,
+/// contiguous vector loads) and dispatch automatically whenever
+/// segments exist and a SIMD tier is active -- no flag needed.  The
+/// grouped kernels stay implemented, parity-tested and benchmarked for
+/// chains that never produce segments: set_gather_grouping(true) or
 /// KIBAMRM_SIMD_GATHER=on.  Either way the bits are identical; this
 /// knob only selects machine code.
 bool gather_grouping();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/kernels.hpp"
 #include "kibamrm/linalg/vector_ops.hpp"
 #include "kibamrm/markov/fox_glynn.hpp"
 
@@ -69,6 +70,7 @@ void TransientSolver::prepare_fused(const std::vector<double>& initial) {
   for (const std::uint32_t row : reachable_) reachable_mask_[row] = 1;
   fused_pt_ = p_.transposed_submatrix(reachable_);
   fused_nonzeros_ = fused_pt_.nonzeros();
+  fused_structure_ = linalg::structure_stats(fused_pt_);
   gather_plan_ = linalg::FusedGatherPlan::build(fused_pt_);
   if (gather_plan_) {
     fused_pt_ = linalg::CsrMatrix(1, 1);  // packed layout replaces the CSR
@@ -96,6 +98,13 @@ std::vector<std::vector<double>> TransientSolver::solve(
 
   const bool fused = options_.fused_kernels;
   if (fused) prepare_fused(initial);
+  // The mixed tier applies only where a float32 kernel exists (the
+  // row-offset gather plan); chains on the CSR or column-delta fallback
+  // silently run the double kernels -- "mixed" is a throughput hint, not
+  // a semantic switch.
+  const bool mixed =
+      fused && gather_plan_ && gather_plan_->mixed_supported() &&
+      linalg::kernels::active_dispatch() == linalg::kernels::Dispatch::kMixed;
   const bool detect = options_.steady_state_detection && fused;
   const double threshold = options_.steady_state_threshold > 0.0
                                ? options_.steady_state_threshold
@@ -108,6 +117,11 @@ std::vector<std::vector<double>> TransientSolver::solve(
   // baseline loop in the full space.
   stats_.active_states = fused ? reachable_.size() : initial.size();
   stats_.active_nonzeros = fused ? fused_nonzeros_ : p_.nonzeros();
+  if (fused) {
+    stats_.matrix_bandwidth = fused_structure_.bandwidth;
+    stats_.groupable_rows = fused_structure_.groupable_rows;
+    stats_.longest_uniform_run = fused_structure_.longest_uniform_run;
+  }
 
   // power_ holds pi(t_k) P^n during an increment; it is (re)filled from
   // `current` at each increment, so only the other scratch needs sizing.
@@ -146,16 +160,29 @@ std::vector<std::vector<double>> TransientSolver::solve(
           plan_.window(lambda, options_.epsilon);
       const PoissonWindow& window = *window_ptr;
       linalg::fill(accum_, 0.0);
-      power_ = current;
-      // n = 0 term.
+      if (mixed) {
+        power_f_.resize(current.size());
+        next_f_.resize(current.size());
+        for (std::size_t i = 0; i < current.size(); ++i) {
+          power_f_[i] = static_cast<float>(current[i]);
+        }
+      } else {
+        power_ = current;
+      }
+      // n = 0 term (current == pi(t_k) exactly; in mixed mode the double
+      // vector feeds the accumulator so the n = 0 term is full precision).
       if (window.left == 0) {
-        linalg::axpy(window.weight(0), power_, accum_);
+        linalg::axpy(window.weight(0), current, accum_);
       }
       std::uint64_t calm_steps = 0;  // consecutive steps inside the budget
       for (std::uint64_t n = 1; n <= window.right; ++n) {
         const double weight = n >= window.left ? window.weight(n) : 0.0;
         double delta = 0.0;
-        if (fused) {
+        if (mixed) {
+          delta = gather_plan_->multiply_fused_range_mixed(
+              power_f_, next_f_, accum_, weight, 0, gather_plan_->rows());
+          power_f_.swap(next_f_);
+        } else if (fused) {
           delta = gather_plan_
                       ? gather_plan_->multiply_fused_range(
                             power_, next_, accum_, weight, 0,
@@ -197,7 +224,14 @@ std::vector<std::vector<double>> TransientSolver::solve(
               residual += window.weight(m);
             }
             if (residual > 0.0) {
-              linalg::axpy(residual, power_, accum_);
+              if (mixed) {
+                for (std::size_t i = 0; i < accum_.size(); ++i) {
+                  accum_[i] +=
+                      residual * static_cast<double>(power_f_[i]);
+                }
+              } else {
+                linalg::axpy(residual, power_, accum_);
+              }
             }
             stats_.iterations_saved += window.right - n;
             ++stats_.steady_state_hits;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "kibamrm/linalg/fused_gather.hpp"
+#include "kibamrm/linalg/permutation.hpp"
 #include "kibamrm/markov/ctmc.hpp"
 #include "kibamrm/markov/fox_glynn.hpp"
 
@@ -96,6 +97,13 @@ struct TransientStats {
   /// baseline mode) -- the honest per-iteration work unit for throughput
   /// metrics.
   std::uint64_t active_nonzeros = 0;
+  /// Structure of the iterated matrix (fused mode; 0 in baseline mode):
+  /// maximal |col - row|, rows inside >= 4-row equal-length runs (what
+  /// the SIMD gather grouping can take -- the metric state reordering
+  /// exists to raise) and the longest such run.
+  std::uint64_t matrix_bandwidth = 0;
+  std::uint64_t groupable_rows = 0;
+  std::uint64_t longest_uniform_run = 0;
 };
 
 /// Computes pi(t) for each t in `times` (must be sorted ascending, >= 0).
@@ -137,6 +145,9 @@ class TransientSolver {
   std::vector<std::uint32_t> reachable_;      // compact index -> full state
   std::vector<std::uint8_t> reachable_mask_;  // full-space membership
   std::size_t fused_nonzeros_ = 0;  // entries of the compacted matrix
+  // Structure of the compacted transpose, captured at plan build (the CSR
+  // form may be released afterwards) and copied into every solve's stats.
+  linalg::StructureStats fused_structure_;
   double rate_;
   TransientStats stats_;
   // Baseline-loop fast path: rows of P that are exact unit diagonals (the
@@ -152,6 +163,12 @@ class TransientSolver {
   std::vector<double> next_;
   std::vector<double> accum_;
   std::vector<double> full_point_;
+  // Mixed-tier scratch (kernels::Dispatch::kMixed + a row-offset gather
+  // plan): the power iteration streams float32 vectors while accum_ and
+  // current stay double, so the emitted curve only carries the float
+  // operand rounding of the in-window products.
+  std::vector<float> power_f_;
+  std::vector<float> next_f_;
   // Fox-Glynn windows memoised across increments and solve() calls --
   // uniform time grids compute one window per curve instead of one per
   // point.

@@ -5,8 +5,10 @@
 // count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "kibamrm/common/cpu_features.hpp"
@@ -41,15 +43,32 @@ class DispatchGuard {
   }
 };
 
-bool avx2_runnable() { return k::detected_dispatch() == k::Dispatch::kAvx2; }
+bool tier_runnable(k::Dispatch tier) {
+  return static_cast<int>(k::detected_dispatch()) >= static_cast<int>(tier);
+}
+
+bool avx2_runnable() { return tier_runnable(k::Dispatch::kAvx2); }
+bool avx512_runnable() { return tier_runnable(k::Dispatch::kAvx512); }
+
+/// The double SIMD tiers the CPU can run, for cross-tier parity loops.
+std::vector<k::Dispatch> runnable_simd_tiers() {
+  std::vector<k::Dispatch> tiers;
+  if (avx2_runnable()) tiers.push_back(k::Dispatch::kAvx2);
+  if (avx512_runnable()) tiers.push_back(k::Dispatch::kAvx512);
+  return tiers;
+}
 
 TEST(KernelDispatch, ParseAndNames) {
   EXPECT_EQ(k::parse_dispatch("auto"), std::nullopt);
   EXPECT_EQ(k::parse_dispatch("scalar"), k::Dispatch::kScalar);
   EXPECT_EQ(k::parse_dispatch("avx2"), k::Dispatch::kAvx2);
+  EXPECT_EQ(k::parse_dispatch("avx512"), k::Dispatch::kAvx512);
+  EXPECT_EQ(k::parse_dispatch("mixed"), k::Dispatch::kMixed);
   EXPECT_THROW(k::parse_dispatch("sse9"), InvalidArgument);
   EXPECT_EQ(k::dispatch_name(k::Dispatch::kScalar), "scalar");
   EXPECT_EQ(k::dispatch_name(k::Dispatch::kAvx2), "avx2");
+  EXPECT_EQ(k::dispatch_name(k::Dispatch::kAvx512), "avx512");
+  EXPECT_EQ(k::dispatch_name(k::Dispatch::kMixed), "mixed");
 }
 
 TEST(KernelDispatch, ScalarPinAlwaysAccepted) {
@@ -58,6 +77,39 @@ TEST(KernelDispatch, ScalarPinAlwaysAccepted) {
   EXPECT_EQ(k::active_dispatch(), k::Dispatch::kScalar);
   k::clear_dispatch();
   EXPECT_EQ(k::active_dispatch(), k::detected_dispatch());
+}
+
+TEST(KernelDispatch, MixedPinAlwaysAccepted) {
+  // The mixed tier needs no ISA of its own: its dense kernels run the
+  // detected double tier, and the float gather exists in a scalar flavour.
+  DispatchGuard guard;
+  k::set_dispatch(k::Dispatch::kMixed);
+  EXPECT_EQ(k::active_dispatch(), k::Dispatch::kMixed);
+  EXPECT_EQ(k::double_tier(k::active_dispatch()), k::detected_dispatch());
+}
+
+TEST(KernelDispatch, ApplyDispatchFallsBackGracefully) {
+  // Satellite contract: requesting an unavailable SIMD tier through the
+  // CLI/env path (apply_dispatch) must never throw -- it falls back to
+  // the best supported tier with a stderr note, so a pinned bench
+  // command line keeps working across heterogeneous machines.  On CPUs
+  // that do support the tier it must pin exactly.
+  DispatchGuard guard;
+  for (const char* request : {"scalar", "avx2", "avx512", "mixed", "auto"}) {
+    EXPECT_NO_THROW(k::apply_dispatch(request)) << request;
+    if (std::string(request) == "auto") {
+      EXPECT_EQ(k::active_dispatch(), k::detected_dispatch());
+    } else if (const auto parsed = k::parse_dispatch(request);
+               parsed == k::Dispatch::kMixed || tier_runnable(*parsed)) {
+      EXPECT_EQ(k::active_dispatch(), *parsed) << request;
+    } else {
+      EXPECT_EQ(k::active_dispatch(), k::detected_dispatch()) << request;
+    }
+  }
+  // The strict setter, by contrast, refuses unsupported tiers.
+  if (!avx512_runnable()) {
+    EXPECT_THROW(k::set_dispatch(k::Dispatch::kAvx512), InvalidArgument);
+  }
 }
 
 TEST(KernelDot, MatchesReferenceWithinRounding) {
@@ -97,34 +149,41 @@ TEST(KernelDot, ShardedPartialsComposeBitwise) {
   }
 }
 
-TEST(KernelDot, ScalarAvx2ParityBitwise) {
-  if (!avx2_runnable()) GTEST_SKIP() << "CPU lacks AVX2+FMA";
+TEST(KernelDot, ScalarSimdParityBitwise) {
+  const auto tiers = runnable_simd_tiers();
+  if (tiers.empty()) GTEST_SKIP() << "CPU lacks AVX2+FMA";
   DispatchGuard guard;
   for (const std::size_t n : {1u, 3u, 16u, 255u, 256u, 257u, 4096u, 10007u}) {
     const auto a = random_vector(n, 5);
     const auto b = random_vector(n, 6);
     k::set_dispatch(k::Dispatch::kScalar);
     const double scalar = k::dot(a.data(), b.data(), n);
-    k::set_dispatch(k::Dispatch::kAvx2);
-    const double avx2 = k::dot(a.data(), b.data(), n);
-    EXPECT_EQ(scalar, avx2) << "n = " << n;
+    for (const k::Dispatch tier : tiers) {
+      k::set_dispatch(tier);
+      EXPECT_EQ(scalar, k::dot(a.data(), b.data(), n))
+          << "n = " << n << " tier = " << k::dispatch_name(tier);
+    }
   }
 }
 
-TEST(KernelAxpyScale, ScalarAvx2ParityBitwise) {
-  if (!avx2_runnable()) GTEST_SKIP() << "CPU lacks AVX2+FMA";
+TEST(KernelAxpyScale, ScalarSimdParityBitwise) {
+  const auto tiers = runnable_simd_tiers();
+  if (tiers.empty()) GTEST_SKIP() << "CPU lacks AVX2+FMA";
   DispatchGuard guard;
   const std::size_t n = 1037;
   const auto x = random_vector(n, 7);
   auto y_scalar = random_vector(n, 8);
-  auto y_avx2 = y_scalar;
+  const auto y_init = y_scalar;
   k::set_dispatch(k::Dispatch::kScalar);
   k::axpy(0.3125, x.data(), y_scalar.data(), n);
   k::scale(y_scalar.data(), -1.75, n);
-  k::set_dispatch(k::Dispatch::kAvx2);
-  k::axpy(0.3125, x.data(), y_avx2.data(), n);
-  k::scale(y_avx2.data(), -1.75, n);
-  EXPECT_EQ(y_scalar, y_avx2);
+  for (const k::Dispatch tier : tiers) {
+    auto y_simd = y_init;
+    k::set_dispatch(tier);
+    k::axpy(0.3125, x.data(), y_simd.data(), n);
+    k::scale(y_simd.data(), -1.75, n);
+    EXPECT_EQ(y_scalar, y_simd) << k::dispatch_name(tier);
+  }
 }
 
 // Banded matrix with mixed row lengths: long runs of equal-length rows
@@ -217,6 +276,110 @@ TEST(KernelFusedGatherPlan, ZeroWeightParityAndSkip) {
   k::set_dispatch(k::Dispatch::kAvx2);
   plan->multiply_fused_range(x, out, accum, 0.0, 0, n);
   for (const double a : accum) EXPECT_EQ(a, 0.5);
+}
+
+// Pure banded matrix: after transposition every interior row has the
+// same length and the same offset pattern, so the gather plan covers
+// nearly all rows with uniform segments -- the structure the level-major
+// state reordering produces on real expanded battery chains, and the
+// input the across-row SIMD segment kernels vectorise.
+CsrMatrix banded_uniform(std::size_t n) {
+  CooBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    if (i > 0) {
+      builder.add(i, i - 1, 0.3);
+      off += 0.3;
+    }
+    if (i + 1 < n) {
+      builder.add(i, i + 1, 0.2);
+      off += 0.2;
+    }
+    builder.add(i, i, 1.0 - off);
+  }
+  return builder.build();
+}
+
+TEST(KernelUniformSegments, ScalarSimdParityBitwise) {
+  // The uniform-segment kernels (8 rows per zmm / 4 per ymm, lane = row)
+  // replay the scalar per-row association exactly, so every double tier
+  // must produce the same bits -- including ranges that start and stop
+  // mid-segment, which exercise the partition seams.
+  const auto tiers = runnable_simd_tiers();
+  if (tiers.empty()) GTEST_SKIP() << "CPU lacks AVX2+FMA";
+  DispatchGuard guard;
+  const std::size_t n = 4099;
+  const CsrMatrix pt = banded_uniform(n).transposed();
+  const auto plan = FusedGatherPlan::build(pt);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->layout(), FusedGatherPlan::Layout::kRowOffset);
+  EXPECT_GT(plan->uniform_fraction(), 0.9);
+  const auto x = random_vector(n, 20);
+  k::set_dispatch(k::Dispatch::kScalar);
+  std::vector<double> out_s(n, 0.0), accum_s(n, 0.125);
+  const double delta_s =
+      plan->multiply_fused_range(x, out_s, accum_s, 0.25, 0, n);
+  for (const k::Dispatch tier : tiers) {
+    k::set_dispatch(tier);
+    std::vector<double> out_v(n, 0.0), accum_v(n, 0.125);
+    const double delta_v =
+        plan->multiply_fused_range(x, out_v, accum_v, 0.25, 0, n);
+    EXPECT_EQ(out_s, out_v) << k::dispatch_name(tier);
+    EXPECT_EQ(accum_s, accum_v) << k::dispatch_name(tier);
+    EXPECT_EQ(delta_s, delta_v) << k::dispatch_name(tier);
+    // Shard seams inside a segment: the same rows in two disjoint calls.
+    std::vector<double> out_r(n, 0.0), accum_r(n, 0.125);
+    const double delta_hi =
+        plan->multiply_fused_range(x, out_r, accum_r, 0.25, 1003, n);
+    const double delta_lo =
+        plan->multiply_fused_range(x, out_r, accum_r, 0.25, 0, 1003);
+    EXPECT_EQ(out_s, out_r) << k::dispatch_name(tier);
+    EXPECT_EQ(accum_s, accum_r) << k::dispatch_name(tier);
+    EXPECT_EQ(delta_s, std::max(delta_lo, delta_hi))
+        << k::dispatch_name(tier);
+  }
+}
+
+TEST(KernelUniformSegments, MixedAccuracyAndPartitionDeterminism) {
+  // The mixed tier streams float32 operands through the same canonical
+  // association with double accumulation: every product is exact in
+  // double, so the result is deterministic under any row partition, and
+  // it tracks the all-double kernel to float operand rounding.
+  DispatchGuard guard;
+  const std::size_t n = 3001;
+  const CsrMatrix pt = banded_uniform(n).transposed();
+  const auto plan = FusedGatherPlan::build(pt);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_TRUE(plan->mixed_supported());
+  std::vector<double> x(n);
+  std::mt19937 rng(21);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  for (double& v : x) v = uniform(rng);
+  k::set_dispatch(k::Dispatch::kScalar);
+  std::vector<double> out_d(n, 0.0), accum_d(n, 0.0);
+  plan->multiply_fused_range(x, out_d, accum_d, 0.25, 0, n);
+
+  k::set_dispatch(k::Dispatch::kMixed);
+  const std::vector<float> x_f(x.begin(), x.end());
+  std::vector<float> out_f(n, 0.0f);
+  std::vector<double> accum_f(n, 0.0);
+  const double delta_full =
+      plan->multiply_fused_range_mixed(x_f, out_f, accum_f, 0.25, 0, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(static_cast<double>(out_f[i]), out_d[i], 1e-5) << i;
+    EXPECT_NEAR(accum_f[i], accum_d[i], 1e-5) << i;
+  }
+  // Partition determinism: two disjoint ranges, filled high range first,
+  // reproduce the single-call bits exactly.
+  std::vector<float> out_r(n, 0.0f);
+  std::vector<double> accum_r(n, 0.0);
+  const double delta_hi =
+      plan->multiply_fused_range_mixed(x_f, out_r, accum_r, 0.25, 977, n);
+  const double delta_lo =
+      plan->multiply_fused_range_mixed(x_f, out_r, accum_r, 0.25, 0, 977);
+  EXPECT_EQ(out_f, out_r);
+  EXPECT_EQ(accum_f, accum_r);
+  EXPECT_EQ(delta_full, std::max(delta_lo, delta_hi));
 }
 
 // Arnoldi over a chain large enough to engage the pool-sharded sweeps

@@ -1,12 +1,20 @@
 #include "kibamrm/common/random.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "kibamrm/common/error.hpp"
 
 namespace kibamrm::common {
 
 namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
 
 std::uint64_t splitmix64(std::uint64_t& x) {
   x += 0x9E3779B97F4A7C15ULL;
@@ -16,11 +24,27 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t state = base + index;
+  return splitmix64(state);
 }
 
-}  // namespace
+std::optional<std::uint64_t> seed_from_env(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  const std::string text(raw);
+  std::size_t consumed = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &consumed, 0);  // base 0: decimal or 0x-hex
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  KIBAMRM_REQUIRE(consumed == text.size(),
+                  std::string(name) + " must be a 64-bit integer, got \"" +
+                      text + "\"");
+  return value;
+}
 
 Xoshiro256::Xoshiro256(std::uint64_t seed) {
   std::uint64_t sm = seed;

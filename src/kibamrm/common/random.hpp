@@ -8,9 +8,29 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace kibamrm::common {
+
+/// One splitmix64 step on `state` (advances it).  Public because it is the
+/// seed-derivation primitive: consecutive integers fed through splitmix64
+/// yield decorrelated 64-bit seeds, which both Xoshiro256's seeding and the
+/// property-test harness's per-iteration streams rely on.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic sub-seed `index` of a base seed: seeds derived from the
+/// same base with different indices are decorrelated (splitmix64 of
+/// base + index).  The property harness derives one stream per test
+/// iteration this way, so a failing iteration is reproducible from
+/// (base seed, iteration) alone.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+/// Reads a 64-bit seed from environment variable `name`: decimal or 0x-hex.
+/// nullopt when unset or empty; throws InvalidArgument on garbage so a
+/// typo'd KIBAMRM_PROP_SEED fails loudly instead of silently exploring the
+/// default stream.
+std::optional<std::uint64_t> seed_from_env(const char* name);
 
 /// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator.
 class Xoshiro256 {

@@ -1,0 +1,396 @@
+#include "property/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "kibamrm/workload/onoff_model.hpp"
+
+namespace kibamrm::prop {
+
+namespace {
+
+std::size_t uniform_index(common::RandomStream& stream, std::size_t lo,
+                          std::size_t hi) {
+  // Inclusive bounds; the double has 53 bits, plenty for these ranges.
+  return lo + static_cast<std::size_t>(stream.uniform() *
+                                       static_cast<double>(hi - lo + 1));
+}
+
+/// Sorted, strictly increasing, strictly positive time grid with at most
+/// `max_points` points in (0, t_max].
+std::vector<double> draw_times(common::RandomStream& stream, double t_max,
+                               std::size_t max_points) {
+  const std::size_t count = uniform_index(stream, 1, max_points);
+  std::vector<double> times(count);
+  for (double& t : times) t = stream.uniform(0.05 * t_max, t_max);
+  std::sort(times.begin(), times.end());
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] <= times[i - 1]) times[i] = times[i - 1] * (1.0 + 1e-9);
+  }
+  return times;
+}
+
+/// Shrink candidates for a time grid: last point only, then first half.
+template <typename Case>
+void push_time_shrinks(const Case& value, std::vector<Case>& out) {
+  if (value.times.size() > 1) {
+    Case last = value;
+    last.times = {value.times.back()};
+    out.push_back(std::move(last));
+    Case half = value;
+    half.times.resize(value.times.size() / 2);
+    out.push_back(std::move(half));
+  }
+}
+
+double round_to_one_digit(double value) {
+  if (value == 0.0) return 0.0;
+  const double magnitude = std::pow(10.0, std::floor(std::log10(value)));
+  return std::round(value / magnitude) * magnitude;
+}
+
+std::string compact(double value) {
+  std::ostringstream text;
+  text.precision(17);
+  text << value;
+  return text.str();
+}
+
+}  // namespace
+
+std::string_view ctmc_family_name(CtmcFamily family) {
+  switch (family) {
+    case CtmcFamily::kErgodic: return "ergodic";
+    case CtmcFamily::kAbsorbing: return "absorbing";
+    case CtmcFamily::kStiff: return "stiff";
+    case CtmcFamily::kNearDegenerate: return "near-degenerate";
+  }
+  return "?";
+}
+
+markov::Ctmc CtmcCase::chain() const {
+  return markov::ctmc_from_rates(rates);
+}
+
+Gen<CtmcCase> ctmc_gen(const CtmcGenOptions& options) {
+  Gen<CtmcCase> gen;
+
+  gen.generate = [options](common::RandomStream& stream) {
+    CtmcCase value;
+    value.family = options.family;
+    const std::size_t n =
+        uniform_index(stream, options.min_states, options.max_states);
+    value.rates.assign(n, std::vector<double>(n, 0.0));
+
+    const double scale = std::pow(10.0, stream.uniform(-1.0, 1.0));
+    const auto plain_rate = [&] {
+      return scale * std::pow(10.0, stream.uniform(-0.7, 0.7));
+    };
+    const auto stiff_rate = [&] {
+      const double half = options.stiff_decades / 2.0;
+      return scale * std::pow(10.0, stream.uniform(-half, half));
+    };
+
+    switch (options.family) {
+      case CtmcFamily::kErgodic:
+        for (std::size_t i = 0; i < n; ++i)
+          value.rates[i][(i + 1) % n] = plain_rate();
+        for (std::size_t i = 0; i < n; ++i)
+          for (std::size_t j = 0; j < n; ++j)
+            if (i != j && value.rates[i][j] == 0.0 &&
+                stream.bernoulli(0.3))
+              value.rates[i][j] = plain_rate();
+        break;
+      case CtmcFamily::kAbsorbing:
+        // Chain path to the absorbing last state; extra edges only out of
+        // the transient states, so the last row stays all-zero.
+        for (std::size_t i = 0; i + 1 < n; ++i)
+          value.rates[i][i + 1] = plain_rate();
+        for (std::size_t i = 0; i + 1 < n; ++i)
+          for (std::size_t j = 0; j < n; ++j)
+            if (i != j && value.rates[i][j] == 0.0 &&
+                stream.bernoulli(0.3))
+              value.rates[i][j] = plain_rate();
+        break;
+      case CtmcFamily::kStiff:
+        for (std::size_t i = 0; i < n; ++i)
+          value.rates[i][(i + 1) % n] = stiff_rate();
+        for (std::size_t i = 0; i < n; ++i)
+          for (std::size_t j = 0; j < n; ++j)
+            if (i != j && value.rates[i][j] == 0.0 &&
+                stream.bernoulli(0.3))
+              value.rates[i][j] = stiff_rate();
+        break;
+      case CtmcFamily::kNearDegenerate: {
+        // Two internally-connected blocks, coupled ~9 decades below the
+        // working rates: the spectrum has a near-zero second eigenvalue.
+        const std::size_t n1 = std::max<std::size_t>(1, n / 2);
+        const auto ring = [&](std::size_t begin, std::size_t end) {
+          if (end - begin < 2) return;
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::size_t next = i + 1 == end ? begin : i + 1;
+            value.rates[i][next] = plain_rate();
+          }
+        };
+        ring(0, n1);
+        ring(n1, n);
+        if (n1 < n) {
+          value.rates[n1 - 1][n1] = scale * 1e-9;
+          value.rates[n - 1][0] = scale * 1e-9;
+        }
+        break;
+      }
+    }
+
+    // Initial distribution: a unit vector or a random dense distribution.
+    value.initial.assign(n, 0.0);
+    if (stream.bernoulli(options.random_initial_probability)) {
+      double total = 0.0;
+      for (double& p : value.initial) total += (p = stream.exponential(1.0));
+      for (double& p : value.initial) p /= total;
+    } else {
+      value.initial[uniform_index(stream, 0, n - 1)] = 1.0;
+    }
+
+    // Time grid scaled against the uniformisation step count q * t.
+    double q_max = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double exit = 0.0;
+      for (std::size_t j = 0; j < n; ++j)
+        if (i != j) exit += value.rates[i][j];
+      q_max = std::max(q_max, exit);
+    }
+    const double t_max = stream.uniform(0.2, 1.0) *
+                         options.max_rate_time_product /
+                         std::max(q_max, 1e-300);
+    value.times = draw_times(stream, t_max, options.max_time_points);
+    return value;
+  };
+
+  gen.shrink = [](const CtmcCase& value) {
+    std::vector<CtmcCase> out;
+    const std::size_t n = value.states();
+
+    // Delete one state (the biggest reduction first).  Strided so large
+    // chains propose a bounded number of (bounded-size) candidates.
+    if (n > 2) {
+      const std::size_t stride = std::max<std::size_t>(1, n / 16);
+      for (std::size_t remove = 0; remove < n; remove += stride) {
+        CtmcCase smaller = value;
+        smaller.rates.erase(smaller.rates.begin() +
+                            static_cast<std::ptrdiff_t>(remove));
+        for (auto& row : smaller.rates)
+          row.erase(row.begin() + static_cast<std::ptrdiff_t>(remove));
+        smaller.initial.erase(smaller.initial.begin() +
+                              static_cast<std::ptrdiff_t>(remove));
+        double total = 0.0;
+        for (double p : smaller.initial) total += p;
+        if (total <= 0.0) {
+          smaller.initial.assign(n - 1, 0.0);
+          smaller.initial[0] = 1.0;
+        } else {
+          for (double& p : smaller.initial) p /= total;
+        }
+        out.push_back(std::move(smaller));
+      }
+    }
+
+    push_time_shrinks(value, out);
+
+    // Zero one off-diagonal entry (bounded fan-out).
+    std::size_t zeroed = 0;
+    for (std::size_t i = 0; i < n && zeroed < 24; ++i) {
+      for (std::size_t j = 0; j < n && zeroed < 24; ++j) {
+        if (i == j || value.rates[i][j] == 0.0) continue;
+        CtmcCase sparser = value;
+        sparser.rates[i][j] = 0.0;
+        out.push_back(std::move(sparser));
+        ++zeroed;
+      }
+    }
+
+    // Round every rate to one significant digit, then to exactly 1.
+    CtmcCase rounded = value;
+    bool changed = false;
+    for (auto& row : rounded.rates)
+      for (double& rate : row) {
+        const double r = round_to_one_digit(rate);
+        changed |= r != rate;
+        rate = r;
+      }
+    if (changed) out.push_back(std::move(rounded));
+    CtmcCase ones = value;
+    changed = false;
+    for (auto& row : ones.rates)
+      for (double& rate : row) {
+        if (rate != 0.0 && rate != 1.0) {
+          rate = 1.0;
+          changed = true;
+        }
+      }
+    if (changed) out.push_back(std::move(ones));
+
+    // Collapse a dense initial distribution to its heaviest state.
+    const auto heaviest = std::max_element(value.initial.begin(),
+                                           value.initial.end());
+    if (*heaviest != 1.0) {
+      CtmcCase unit = value;
+      unit.initial.assign(n, 0.0);
+      unit.initial[static_cast<std::size_t>(
+          heaviest - value.initial.begin())] = 1.0;
+      out.push_back(std::move(unit));
+    }
+    return out;
+  };
+
+  gen.describe = [](const CtmcCase& value) {
+    std::ostringstream text;
+    text << ctmc_family_name(value.family) << " chain, "
+         << value.states() << " states; rates {";
+    bool first = true;
+    for (std::size_t i = 0; i < value.states(); ++i)
+      for (std::size_t j = 0; j < value.states(); ++j)
+        if (i != j && value.rates[i][j] != 0.0) {
+          text << (first ? "" : ", ") << i << "->" << j << ":"
+               << compact(value.rates[i][j]);
+          first = false;
+        }
+    text << "}; initial {";
+    for (std::size_t i = 0; i < value.initial.size(); ++i)
+      text << (i == 0 ? "" : ", ") << compact(value.initial[i]);
+    text << "}; times {";
+    for (std::size_t i = 0; i < value.times.size(); ++i)
+      text << (i == 0 ? "" : ", ") << compact(value.times[i]);
+    text << "}";
+    return text.str();
+  };
+
+  return gen;
+}
+
+core::KibamRmModel ScenarioCase::model() const {
+  const double y1 = levels_available * delta;
+  const double y2 = levels_bound * delta;
+  return core::KibamRmModel(
+      workload::make_onoff_model({.frequency = frequency,
+                                  .erlang_k = erlang_k,
+                                  .on_current = on_current}),
+      {.capacity = y1 + y2,
+       .available_fraction = y1 / (y1 + y2),
+       .flow_constant = flow_constant},
+      y1, y2);
+}
+
+Gen<ScenarioCase> scenario_gen(const ScenarioGenOptions& options) {
+  Gen<ScenarioCase> gen;
+
+  gen.generate = [options](common::RandomStream& stream) {
+    ScenarioCase value;
+    value.delta = std::pow(10.0, stream.uniform(1.0, 2.5));
+    value.levels_available = static_cast<std::uint32_t>(
+        uniform_index(stream, 2, options.max_levels_available));
+    value.levels_bound = static_cast<std::uint32_t>(
+        uniform_index(stream, 1, options.max_levels_bound));
+    value.flow_constant = std::pow(10.0, stream.uniform(-6.0, -3.0));
+    value.on_current = stream.uniform(0.3, 3.0);
+    value.frequency = std::pow(10.0, stream.uniform(-1.0, 1.0));
+    value.erlang_k =
+        static_cast<int>(uniform_index(stream, 1, options.max_erlang_k));
+    // Lifetime scale at ~50% duty; the grid spans ramp-up to depletion.
+    const double capacity =
+        (value.levels_available + value.levels_bound) * value.delta;
+    const double horizon = capacity / (0.5 * value.on_current);
+    value.times = draw_times(stream, stream.uniform(0.8, 1.6) * horizon,
+                             options.max_time_points);
+    return value;
+  };
+
+  gen.shrink = [](const ScenarioCase& value) {
+    std::vector<ScenarioCase> out;
+    if (value.levels_available > 2) {
+      ScenarioCase smaller = value;
+      smaller.levels_available = value.levels_available - 1;
+      out.push_back(smaller);
+    }
+    if (value.levels_bound > 1) {
+      ScenarioCase smaller = value;
+      smaller.levels_bound = value.levels_bound - 1;
+      out.push_back(smaller);
+    }
+    push_time_shrinks(value, out);
+    if (value.erlang_k != 1) {
+      ScenarioCase simpler = value;
+      simpler.erlang_k = 1;
+      out.push_back(simpler);
+    }
+    if (value.frequency != 1.0) {
+      ScenarioCase simpler = value;
+      simpler.frequency = 1.0;
+      out.push_back(simpler);
+    }
+    if (value.on_current != 1.0) {
+      ScenarioCase simpler = value;
+      simpler.on_current = 1.0;
+      out.push_back(simpler);
+    }
+    if (value.flow_constant != 0.0) {
+      ScenarioCase frozen = value;
+      frozen.flow_constant = 0.0;
+      out.push_back(frozen);
+    }
+    const double rounded_delta = round_to_one_digit(value.delta);
+    if (rounded_delta != value.delta) {
+      ScenarioCase simpler = value;
+      simpler.delta = rounded_delta;
+      out.push_back(simpler);
+    }
+    return out;
+  };
+
+  gen.describe = [](const ScenarioCase& value) {
+    std::ostringstream text;
+    text << "scenario delta=" << compact(value.delta)
+         << " levels=(" << value.levels_available << ","
+         << value.levels_bound << ") k=" << compact(value.flow_constant)
+         << " I_on=" << compact(value.on_current)
+         << " f=" << compact(value.frequency)
+         << " erlang_k=" << value.erlang_k << " times {";
+    for (std::size_t i = 0; i < value.times.size(); ++i)
+      text << (i == 0 ? "" : ", ") << compact(value.times[i]);
+    text << "}";
+    return text.str();
+  };
+
+  return gen;
+}
+
+Gen<std::vector<double>> time_grid_gen(double t_min, double t_max,
+                                       std::size_t max_points) {
+  Gen<std::vector<double>> gen;
+  gen.generate = [t_min, t_max, max_points](common::RandomStream& stream) {
+    std::vector<double> times =
+        draw_times(stream, stream.uniform(t_min, t_max), max_points);
+    return times;
+  };
+  gen.shrink = [](const std::vector<double>& value) {
+    std::vector<std::vector<double>> out;
+    if (value.size() > 1) {
+      out.push_back({value.back()});
+      out.push_back(std::vector<double>(value.begin(),
+                                        value.begin() + value.size() / 2));
+    }
+    return out;
+  };
+  gen.describe = [](const std::vector<double>& value) {
+    std::ostringstream text;
+    text << "times {";
+    for (std::size_t i = 0; i < value.size(); ++i)
+      text << (i == 0 ? "" : ", ") << compact(value[i]);
+    text << "}";
+    return text.str();
+  };
+  return gen;
+}
+
+}  // namespace kibamrm::prop

@@ -1,0 +1,63 @@
+#include "property/propgen.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+namespace kibamrm::prop {
+
+namespace {
+
+// The ctest registration name is the binary name (one gtest binary per
+// tests/*.cpp), so the repro line regexes on it.  /proc/self/exe is fine:
+// the library is Linux-only (the CI matrix and the SIMD tiers already
+// assume it).
+std::string binary_name() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) return "test_prop";
+  buffer[n] = '\0';
+  const std::string path(buffer);
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+std::uint64_t base_seed() {
+  static const std::uint64_t seed =
+      common::seed_from_env("KIBAMRM_PROP_SEED").value_or(
+          0x6B6962616D726DULL);  // "kibamrm"
+  return seed;
+}
+
+std::size_t default_iterations() {
+  static const std::size_t iterations = static_cast<std::size_t>(
+      common::seed_from_env("KIBAMRM_PROP_ITERS").value_or(200));
+  return iterations;
+}
+
+std::string repro_line(std::uint64_t seed_base, std::size_t iteration) {
+  std::ostringstream line;
+  line << "KIBAMRM_PROP_SEED=0x" << std::hex << seed_base << std::dec
+       << " KIBAMRM_PROP_ITERS=" << iteration + 1 << " ctest -R "
+       << binary_name() << " --output-on-failure";
+  return line.str();
+}
+
+void record_failing_seed(const std::string& line) {
+  const char* dir = std::getenv("KIBAMRM_PROP_ARTIFACT_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  // Serialise appends within the process; concurrent test binaries append
+  // whole lines through O_APPEND semantics of ofstream::app.
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  std::ofstream out(std::string(dir) + "/failing_seeds.txt",
+                    std::ios::app);
+  out << line << '\n';
+}
+
+}  // namespace kibamrm::prop

@@ -1,0 +1,153 @@
+// PropGen: the in-repo property-based testing engine behind tests/property.
+//
+// A deliberately small stand-in for rapidcheck (which needs a FetchContent
+// network step this repo's offline builds cannot assume): seeded random
+// generators, properties as predicates, and greedy counterexample
+// shrinking.  The moving parts:
+//
+//   Gen<T>        a value generator: `generate` draws a T from a
+//                 common::RandomStream, `shrink` proposes strictly simpler
+//                 candidates (most aggressive first), `describe` renders a
+//                 counterexample for the failure report.
+//   check(...)    runs a property over N generated values.  Every
+//                 iteration i uses the stream common::derive_seed(base, i),
+//                 so a failure is pinned by (base seed, iteration) alone.
+//                 On failure the counterexample is shrunk by greedy
+//                 descent -- repeatedly move to the first failing shrink
+//                 candidate -- and the report carries a one-line repro:
+//
+//                   KIBAMRM_PROP_SEED=0x... KIBAMRM_PROP_ITERS=N
+//                       ctest -R <binary> --output-on-failure
+//
+// Environment contract (the CI property job scripts against this):
+//   KIBAMRM_PROP_SEED          base seed (decimal or 0x-hex); fixed
+//                              default, so plain runs are reproducible
+//   KIBAMRM_PROP_ITERS         iterations per property (default 200)
+//   KIBAMRM_PROP_ARTIFACT_DIR  when set, every falsified property appends
+//                              its repro line to $dir/failing_seeds.txt
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kibamrm/common/random.hpp"
+
+namespace kibamrm::prop {
+
+/// Base seed of this process: KIBAMRM_PROP_SEED or the fixed default.
+std::uint64_t base_seed();
+
+/// Iterations per property: KIBAMRM_PROP_ITERS or 200.
+std::size_t default_iterations();
+
+/// Appends `line` to $KIBAMRM_PROP_ARTIFACT_DIR/failing_seeds.txt when the
+/// variable is set; no-op otherwise.  Exposed for the harness self-tests.
+void record_failing_seed(const std::string& line);
+
+/// The repro one-liner for iteration `iteration` of the current binary.
+std::string repro_line(std::uint64_t seed_base, std::size_t iteration);
+
+struct CheckOptions {
+  /// 0 selects default_iterations().
+  std::size_t iterations = 0;
+  /// Cap on property evaluations spent shrinking one counterexample.
+  std::size_t max_shrink_evals = 400;
+};
+
+/// Outcome of one property evaluation.
+struct Verdict {
+  bool ok = true;
+  std::string why;
+
+  static Verdict pass() { return {}; }
+  static Verdict fail(std::string reason) {
+    return {false, std::move(reason)};
+  }
+};
+
+template <typename T>
+struct Gen {
+  std::function<T(common::RandomStream&)> generate;
+  /// Simpler candidate values, most aggressive first.  Empty (or an empty
+  /// result) disables shrinking for this generator.
+  std::function<std::vector<T>(const T&)> shrink;
+  std::function<std::string(const T&)> describe;
+};
+
+namespace detail {
+
+/// Evaluates `property` exception-safely: a thrown exception falsifies the
+/// property with the exception text as the reason (the generators only
+/// produce valid inputs, so a throw is a bug, not a bad test case).
+template <typename T>
+Verdict evaluate(const std::function<Verdict(const T&)>& property,
+                 const T& value) {
+  try {
+    return property(value);
+  } catch (const std::exception& error) {
+    return Verdict::fail(std::string("unexpected exception: ") +
+                         error.what());
+  }
+}
+
+}  // namespace detail
+
+/// Runs `property` over `options.iterations` generated values; on the
+/// first falsified value, shrinks it and reports one gtest failure with
+/// the counterexample and the seed repro line.
+template <typename T>
+void check(const std::string& property_name, const Gen<T>& gen,
+           const std::function<Verdict(const T&)>& property,
+           CheckOptions options = {}) {
+  const std::uint64_t seed = base_seed();
+  const std::size_t iterations =
+      options.iterations != 0 ? options.iterations : default_iterations();
+
+  for (std::size_t iteration = 0; iteration < iterations; ++iteration) {
+    const std::uint64_t iteration_seed = common::derive_seed(seed, iteration);
+    common::RandomStream stream(iteration_seed);
+    T value = gen.generate(stream);
+    Verdict verdict = detail::evaluate(property, value);
+    if (verdict.ok) continue;
+
+    // Greedy shrink: move to the first failing candidate, restart from it.
+    const std::string original = gen.describe ? gen.describe(value) : "";
+    std::size_t evals = 0;
+    std::size_t steps = 0;
+    if (gen.shrink) {
+      bool shrunk_this_round = true;
+      while (shrunk_this_round && evals < options.max_shrink_evals) {
+        shrunk_this_round = false;
+        for (T& candidate : gen.shrink(value)) {
+          if (++evals > options.max_shrink_evals) break;
+          Verdict candidate_verdict = detail::evaluate(property, candidate);
+          if (!candidate_verdict.ok) {
+            value = std::move(candidate);
+            verdict = std::move(candidate_verdict);
+            ++steps;
+            shrunk_this_round = true;
+            break;
+          }
+        }
+      }
+    }
+
+    const std::string repro = repro_line(seed, iteration);
+    record_failing_seed(repro + "  # " + property_name);
+    ADD_FAILURE() << "FALSIFIED " << property_name << " after "
+                  << iteration + 1 << " iteration(s)\n"
+                  << "  reason: " << verdict.why << "\n"
+                  << "  counterexample (" << steps << " shrink step(s), "
+                  << evals << " eval(s)):\n    "
+                  << (gen.describe ? gen.describe(value) : "<no describe>")
+                  << "\n  original:\n    " << original << "\n"
+                  << "  repro: " << repro;
+    return;
+  }
+}
+
+}  // namespace kibamrm::prop

@@ -1,0 +1,185 @@
+// Property: probability mass is conserved, distributions stay
+// non-negative, and steady-state detection never costs more than its
+// epsilon budget.
+//
+// These are the accuracy contracts the perf work of PRs 3-6 is charged
+// against: the fused kernels may reorder nothing that moves mass, the
+// renormalize=false path must conserve sum(pi) to solver accuracy on its
+// own, and switching --no-detect on or off must stay within 10 eps (the
+// detection error is budgeted against epsilon/2 by design).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "kibamrm/core/expanded_ctmc.hpp"
+#include "kibamrm/engine/transient_backend.hpp"
+#include "kibamrm/linalg/vector_ops.hpp"
+#include "property/generators.hpp"
+#include "property/propgen.hpp"
+
+namespace kibamrm::prop {
+namespace {
+
+Verdict mass_conserved(const CtmcCase& value, const std::string& backend_name) {
+  const markov::Ctmc chain = value.chain();
+  auto backend = engine::make_backend(backend_name, {.renormalize = false});
+  const auto results = backend->solve(chain, value.initial, value.times);
+  for (std::size_t point = 0; point < results.size(); ++point) {
+    const double mass = linalg::sum(results[point]);
+    if (std::abs(mass - 1.0) > 1e-8) {
+      std::ostringstream why;
+      why << backend_name << " at t=" << value.times[point]
+          << ": sum(pi) = " << mass << " (|drift| > 1e-8)";
+      return Verdict::fail(why.str());
+    }
+    for (std::size_t i = 0; i < results[point].size(); ++i) {
+      if (results[point][i] < -1e-12) {
+        std::ostringstream why;
+        why << backend_name << " at t=" << value.times[point]
+            << ": pi[" << i << "] = " << results[point][i] << " < -1e-12";
+        return Verdict::fail(why.str());
+      }
+    }
+  }
+  return Verdict::pass();
+}
+
+class MassConservation
+    : public ::testing::TestWithParam<std::tuple<CtmcFamily, std::string>> {
+};
+
+TEST_P(MassConservation, SumStaysOneWithoutRenormalization) {
+  const auto [family, backend_name] = GetParam();
+  CtmcGenOptions options;
+  options.family = family;
+  options.max_rate_time_product = 1500.0;
+  check<CtmcCase>(std::string("MassConserved/") + backend_name + "/" +
+                      std::string(ctmc_family_name(family)),
+                  ctmc_gen(options),
+                  [name = backend_name](const CtmcCase& value) {
+                    return mass_conserved(value, name);
+                  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndEngines, MassConservation,
+    ::testing::Combine(::testing::Values(CtmcFamily::kErgodic,
+                                         CtmcFamily::kAbsorbing,
+                                         CtmcFamily::kNearDegenerate),
+                       ::testing::Values(std::string("uniformization"),
+                                         std::string("krylov"))),
+    [](const auto& info) {
+      std::string name(ctmc_family_name(std::get<0>(info.param)));
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "_" + std::get<1>(info.param);
+    });
+
+TEST(SteadyStateDetection, OnOffWithinTenEpsOnRandomChains) {
+  // Ergodic chains with long horizons: detection fires often, and the
+  // distribution with detection on must stay within 10 eps of the full
+  // Fox-Glynn evaluation.
+  const double epsilon = 1e-10;
+  CtmcGenOptions options;
+  options.family = CtmcFamily::kErgodic;
+  options.max_rate_time_product = 4000.0;
+  check<CtmcCase>(
+      "DetectionOnOffChains", ctmc_gen(options),
+      [epsilon](const CtmcCase& value) {
+        const markov::Ctmc chain = value.chain();
+        auto detect_on = engine::make_backend(
+            "uniformization",
+            {.epsilon = epsilon, .steady_state_detection = true});
+        auto detect_off = engine::make_backend(
+            "uniformization",
+            {.epsilon = epsilon, .steady_state_detection = false});
+        const auto on = detect_on->solve(chain, value.initial, value.times);
+        const auto off =
+            detect_off->solve(chain, value.initial, value.times);
+        for (std::size_t point = 0; point < on.size(); ++point) {
+          const double distance = linalg::linf_distance(on[point],
+                                                        off[point]);
+          if (distance > 10.0 * epsilon) {
+            std::ostringstream why;
+            why << "detection on vs off at t=" << value.times[point]
+                << ": linf " << distance << " > 10 eps";
+            return Verdict::fail(why.str());
+          }
+        }
+        return Verdict::pass();
+      });
+}
+
+TEST(SteadyStateDetection, OnOffWithinTenEpsOnBatteryScenarios) {
+  // The same 10-eps budget end to end through the expanded battery
+  // chains (absorbing layer + closure compaction + fused kernels).
+  const double epsilon = 1e-10;
+  check<ScenarioCase>(
+      "DetectionOnOffScenarios", scenario_gen(),
+      [epsilon](const ScenarioCase& value) {
+        const auto expanded =
+            core::build_expanded_chain(value.model(), value.delta);
+        auto detect_on = engine::make_backend(
+            "uniformization",
+            {.epsilon = epsilon, .steady_state_detection = true});
+        auto detect_off = engine::make_backend(
+            "uniformization",
+            {.epsilon = epsilon, .steady_state_detection = false});
+        const auto on =
+            detect_on->solve(expanded.chain, expanded.initial, value.times);
+        const auto off = detect_off->solve(expanded.chain, expanded.initial,
+                                           value.times);
+        for (std::size_t point = 0; point < on.size(); ++point) {
+          const double distance = linalg::linf_distance(on[point],
+                                                        off[point]);
+          if (distance > 10.0 * epsilon) {
+            std::ostringstream why;
+            why << "scenario detection on vs off at t="
+                << value.times[point] << ": linf " << distance
+                << " > 10 eps";
+            return Verdict::fail(why.str());
+          }
+        }
+        return Verdict::pass();
+      });
+}
+
+TEST(MassConservationScenario, EmptyProbabilityMonotoneOverRandomScenarios) {
+  // Pr{battery empty at t} is a CDF: within one scenario it must be
+  // non-decreasing in t and inside [0, 1 + eps] -- over random battery
+  // configurations, not just the paper's hand-picked cell.
+  check<ScenarioCase>(
+      "EmptyProbabilityCdf", scenario_gen(),
+      [](const ScenarioCase& value) {
+        const auto expanded =
+            core::build_expanded_chain(value.model(), value.delta);
+        auto backend = engine::make_backend("uniformization");
+        double previous = 0.0;
+        std::string failure;
+        backend->solve(
+            expanded.chain, expanded.initial, value.times,
+            [&](std::size_t point, double time,
+                const std::vector<double>& pi) {
+              const double empty = expanded.empty_probability(pi);
+              std::ostringstream why;
+              if (empty < -1e-12 || empty > 1.0 + 1e-9) {
+                why << "Pr{empty at " << time << "} = " << empty
+                    << " outside [0, 1]";
+                failure = why.str();
+              } else if (point > 0 && empty < previous - 1e-9) {
+                why << "Pr{empty} decreased: " << previous << " -> "
+                    << empty << " at t=" << time;
+                failure = why.str();
+              }
+              previous = empty;
+            });
+        return failure.empty() ? Verdict::pass() : Verdict::fail(failure);
+      });
+}
+
+}  // namespace
+}  // namespace kibamrm::prop

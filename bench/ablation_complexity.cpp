@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   args.declare("csv").declare("full").declare("engine").declare("json")
       .declare("threads").declare("no-fuse").declare("no-detect")
-      .declare("kernels").declare("reorder");
+      .declare("kernels").declare("reorder").declare("tile-mb")
+      .declare("spill-dir");
   args.validate();
   bench::apply_kernel_choice(args);
   const std::string engine =

@@ -12,6 +12,9 @@
 //   --no-fuse       run the pre-fusion baseline uniformisation loop (the
 //                   measured reference of the CI fused-speedup gate)
 //   --no-detect     disable steady-state early termination
+//   --tile-mb N     streamed tile size in MB for --engine ooc (default 8)
+//   --spill-dir P   directory for the ooc engine's tile spill file
+//                   (default $TMPDIR, falling back to /tmp)
 //   --kernels T     pin the vector-kernel tier:
 //                   scalar | avx2 | avx512 | mixed | auto
 //                   (default auto = CPUID; the double tiers are bitwise
@@ -39,6 +42,7 @@
 
 #include "kibamrm/common/cli.hpp"
 #include "kibamrm/common/error.hpp"
+#include "kibamrm/common/resource.hpp"
 #include "kibamrm/common/thread_pool.hpp"
 #include "kibamrm/core/approx_solver.hpp"
 #include "kibamrm/core/lifetime_distribution.hpp"
@@ -184,20 +188,27 @@ class BenchReport {
 /// under a fictitious thread count 0.
 inline std::size_t resolved_thread_count(const std::string& engine,
                                          std::size_t requested) {
-  if (engine != "parallel" && engine != "krylov") return 1;
+  if (engine != "parallel" && engine != "krylov" && engine != "ooc") {
+    return 1;
+  }
   return requested == 0 ? common::ThreadPool::hardware_thread_count()
                         : requested;
 }
 
 /// Engine-tuning flags shared by every solver driver: --no-fuse selects
 /// the pre-fusion baseline loop, --no-detect disables steady-state early
-/// termination (uniformisation engines; other engines ignore both).
+/// termination (uniformisation engines; other engines ignore both),
+/// --tile-mb N and --spill-dir PATH size and place the "ooc" engine's
+/// streamed tile store (other engines ignore them).
 inline void apply_engine_tuning(const common::CliArgs& args,
                                 core::ApproximationOptions& options) {
   options.fused_kernels = !args.has("no-fuse");
   options.steady_state_detection = !args.has("no-detect");
   options.kernel_dispatch = kernel_choice(args);
   options.reorder = reorder_choice(args);
+  options.tile_bytes =
+      static_cast<std::size_t>(args.get_positive_int("tile-mb", 8)) << 20;
+  options.spill_dir = args.get("spill-dir", "");
 }
 
 inline void apply_engine_tuning(const common::CliArgs& args,
@@ -206,6 +217,9 @@ inline void apply_engine_tuning(const common::CliArgs& args,
   options.steady_state_detection = !args.has("no-detect");
   options.kernel_dispatch = kernel_choice(args);
   options.reorder = reorder_choice(args);
+  options.tile_bytes =
+      static_cast<std::size_t>(args.get_positive_int("tile-mb", 8)) << 20;
+  options.spill_dir = args.get("spill-dir", "");
 }
 
 /// One engine-backed approximation solve for the sweep drivers: constructs
@@ -276,11 +290,19 @@ inline BenchRecord& add_engine_record(BenchReport& report,
       .field("matrix_bandwidth", run.stats.matrix_bandwidth)
       .field("groupable_rows", run.stats.groupable_rows)
       .field("longest_uniform_run", run.stats.longest_uniform_run)
+      .field("diagonal_rows", run.stats.diagonal_rows)
+      .field("longest_diagonal_run", run.stats.longest_diagonal_run)
       .field("krylov_dim", run.stats.krylov_dim)
       .field("substeps", run.stats.substeps)
       .field("hessenberg_expms", run.stats.hessenberg_expms)
       .field("krylov_ortho_work", run.stats.krylov_ortho_work)
+      .field("ooc_tiles", run.stats.ooc_tiles)
+      .field("ooc_tile_reads", run.stats.ooc_tile_reads)
+      .field("ooc_prefetch_hits", run.stats.ooc_prefetch_hits)
+      .field("ooc_bytes_streamed", run.stats.ooc_bytes_streamed)
+      .field("ooc_spill_bytes", run.stats.ooc_spill_bytes)
       .field("spmv_throughput", spmv_throughput(run.stats, run.wall_seconds))
+      .field("peak_rss_bytes", common::peak_rss_bytes())
       .field("wall_seconds", run.wall_seconds);
 }
 
@@ -305,12 +327,20 @@ inline BenchRecord& add_scenario_record(BenchReport& report,
       .field("matrix_bandwidth", result.stats.matrix_bandwidth)
       .field("groupable_rows", result.stats.groupable_rows)
       .field("longest_uniform_run", result.stats.longest_uniform_run)
+      .field("diagonal_rows", result.stats.diagonal_rows)
+      .field("longest_diagonal_run", result.stats.longest_diagonal_run)
       .field("krylov_dim", result.stats.krylov_dim)
       .field("substeps", result.stats.substeps)
       .field("hessenberg_expms", result.stats.hessenberg_expms)
       .field("krylov_ortho_work", result.stats.krylov_ortho_work)
+      .field("ooc_tiles", result.stats.ooc_tiles)
+      .field("ooc_tile_reads", result.stats.ooc_tile_reads)
+      .field("ooc_prefetch_hits", result.stats.ooc_prefetch_hits)
+      .field("ooc_bytes_streamed", result.stats.ooc_bytes_streamed)
+      .field("ooc_spill_bytes", result.stats.ooc_spill_bytes)
       .field("spmv_throughput",
              spmv_throughput(result.stats, result.wall_seconds))
+      .field("peak_rss_bytes", common::peak_rss_bytes())
       .field("wall_seconds", result.wall_seconds);
 }
 
@@ -329,7 +359,8 @@ inline BenchRecord& add_batch_record(BenchReport& report,
       .field("batch_wall_seconds", stats.wall_seconds)
       .field("solve_seconds_total", stats.solve_seconds_total)
       .field("iterations", stats.iterations_total)
-      .field("iterations_saved", stats.iterations_saved_total);
+      .field("iterations_saved", stats.iterations_saved_total)
+      .field("peak_rss_bytes", common::peak_rss_bytes());
 }
 
 }  // namespace kibamrm::bench

@@ -7,10 +7,12 @@
 //      approximation; cross-check with Monte-Carlo simulation.
 //
 // Build & run:
-//   ./examples/quickstart [--engine uniformization|adaptive|dense|parallel]
+//   ./examples/quickstart [--engine uniformization|adaptive|dense|parallel|
+//                                    krylov|ooc]
 //                         [--threads N]
 //                         [--kernels auto|scalar|avx2|avx512|mixed]
 //                         [--reorder none|level|rcm]
+//                         [--tile-mb N] [--spill-dir PATH]   (ooc engine)
 //
 // The engine flag swaps the transient solver behind the approximation; all
 // engines agree within solver tolerance (see tests/test_engine_backends).
@@ -33,7 +35,7 @@ int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   args.declare("engine").declare("delta").declare("threads")
       .declare("no-fuse").declare("no-detect").declare("kernels")
-      .declare("reorder");
+      .declare("reorder").declare("tile-mb").declare("spill-dir");
   args.validate();
   const std::string kernels = args.get_choice(
       "kernels", "auto", {"auto", "scalar", "avx2", "avx512", "mixed"});
@@ -73,6 +75,13 @@ int main(int argc, char** argv) {
               // baseline loop for A/B comparisons.
               .fused_kernels = !args.has("no-fuse"),
               .steady_state_detection = !args.has("no-detect"),
+              // --tile-mb / --spill-dir tune the "ooc" engine's streamed
+              // tile size and spill-file location; other engines ignore
+              // them.
+              .tile_bytes = static_cast<std::size_t>(
+                                args.get_positive_int("tile-mb", 8))
+                            << 20,
+              .spill_dir = args.get("spill-dir", ""),
               // --kernels pins the runtime-dispatched vector tier (the
               // double tiers are bitwise identical; scalar is the
               // sanitizer-CI escape hatch) and --reorder renumbers the

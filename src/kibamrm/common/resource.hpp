@@ -1,0 +1,19 @@
+// Process resource accounting for benchmark records.
+//
+// The out-of-core tier's whole claim is "the working set stays bounded";
+// that claim is only credible measured.  peak_rss_bytes() reads the
+// kernel's high-water mark for the process, so every BENCH_*.json record
+// can carry the memory the run actually took alongside its wall time.
+#pragma once
+
+#include <cstdint>
+
+namespace kibamrm::common {
+
+/// Peak resident set size of the process so far, in bytes (getrusage
+/// ru_maxrss, normalised from the platform's unit); 0 where unavailable.
+/// Monotone over the process lifetime -- per-phase numbers need a fork or
+/// a fresh process.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace kibamrm::common

@@ -22,6 +22,8 @@ MarkovianApproximation::MarkovianApproximation(const KibamRmModel& model,
            .collect_distributions = false,
            .fused_kernels = options_.fused_kernels,
            .steady_state_detection = options_.steady_state_detection,
+           .tile_bytes = options_.tile_bytes,
+           .spill_dir = options_.spill_dir,
            .kernel_dispatch = options_.kernel_dispatch})) {
   stats_.expanded_states = expanded_.grid.state_count();
   stats_.generator_nonzeros = expanded_.chain.generator().nonzeros();
@@ -52,6 +54,13 @@ void absorb_backend_stats(ApproximationStats& stats,
   stats.matrix_bandwidth = backend.matrix_bandwidth;
   stats.groupable_rows = backend.groupable_rows;
   stats.longest_uniform_run = backend.longest_uniform_run;
+  stats.diagonal_rows = backend.diagonal_rows;
+  stats.longest_diagonal_run = backend.longest_diagonal_run;
+  stats.ooc_tiles = backend.ooc_tiles;
+  stats.ooc_tile_reads = backend.ooc_tile_reads;
+  stats.ooc_prefetch_hits = backend.ooc_prefetch_hits;
+  stats.ooc_bytes_streamed = backend.ooc_bytes_streamed;
+  stats.ooc_spill_bytes = backend.ooc_spill_bytes;
 }
 
 LifetimeCurve solve_empty_probability_curve(const ExpandedChain& expanded,

@@ -42,6 +42,11 @@ struct ApproximationOptions {
   /// Steady-state / absorption early termination inside each Poisson
   /// window (uniformisation engines; requires fused_kernels).
   bool steady_state_detection = true;
+  /// "ooc" engine: serialized-size target per streamed tile and the
+  /// spill-file directory (empty selects $TMPDIR, falling back to /tmp);
+  /// forwarded to engine::BackendOptions.  Ignored by other engines.
+  std::size_t tile_bytes = 8ull << 20;
+  std::string spill_dir;
   /// Vector-kernel tier pin ("auto" / "scalar" / "avx2" / "avx512" /
   /// "mixed"), forwarded to engine::BackendOptions::kernel_dispatch
   /// (process-global; the double tiers are bitwise identical, the mixed
@@ -97,6 +102,18 @@ struct ApproximationStats {
   std::uint64_t matrix_bandwidth = 0;
   std::uint64_t groupable_rows = 0;
   std::uint64_t longest_uniform_run = 0;
+  /// Rows repeating the previous row's offset pattern (diagonal runs)
+  /// and the longest such run; see linalg::StructureStats.
+  std::uint64_t diagonal_rows = 0;
+  std::uint64_t longest_diagonal_run = 0;
+  /// "ooc" engine: tiles in the spill store, tile reads over the solve,
+  /// reads satisfied by the prefetch double-buffer, slab bytes streamed
+  /// from disk and the spill file size; 0 for in-memory engines.
+  std::uint64_t ooc_tiles = 0;
+  std::uint64_t ooc_tile_reads = 0;
+  std::uint64_t ooc_prefetch_hits = 0;
+  std::uint64_t ooc_bytes_streamed = 0;
+  std::uint64_t ooc_spill_bytes = 0;
 };
 
 /// Copies the per-solve cost counters of a backend into the

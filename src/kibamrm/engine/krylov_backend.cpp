@@ -97,6 +97,8 @@ std::vector<std::vector<double>> KrylovBackend::solve(
   stats_.matrix_bandwidth = structure.bandwidth;
   stats_.groupable_rows = structure.groupable_rows;
   stats_.longest_uniform_run = structure.longest_uniform_run;
+  stats_.diagonal_rows = structure.diagonal_rows;
+  stats_.longest_diagonal_run = structure.longest_diagonal_run;
   // ||Q^T||_1 = max_i sum_j |Q(i,j)| = 2 max_i exit_rate(i), exactly, for
   // a generator: the scale of the step-size heuristics.
   const double anorm = 2.0 * chain.max_exit_rate();

@@ -66,9 +66,15 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
   // nnz-balanced ranges over the pool, or inline below the pool-wake
   // threshold -- the gather arithmetic is identical either way, results
   // stay bitwise equal.
-  const GatherShardPlan shards =
-      plan_gather_shards(pt, pool_->thread_count());
+  GatherShardPlan shards = plan_gather_shards(pt, pool_->thread_count());
   const bool use_pool = shards.use_pool;
+  // Snap shard boundaries onto uniform-segment edges (ROADMAP 3c): a
+  // boundary inside a segment costs partial SIMD groups at both shard
+  // edges.  Per-row arithmetic is partition-independent, so this only
+  // moves work, never changes a bit.
+  if (plan && use_pool) {
+    plan->align_ranges_to_segments(shards.ranges);
+  }
   const std::vector<std::size_t>& ranges = shards.ranges;
   const std::size_t shard_count = shards.shard_count();
   if (plan) {
@@ -96,6 +102,8 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
   stats_.matrix_bandwidth = structure.bandwidth;
   stats_.groupable_rows = structure.groupable_rows;
   stats_.longest_uniform_run = structure.longest_uniform_run;
+  stats_.diagonal_rows = structure.diagonal_rows;
+  stats_.longest_diagonal_run = structure.longest_diagonal_run;
 
   std::vector<std::vector<double>> results;
   if (options_.collect_distributions) results.reserve(times.size());

@@ -39,6 +39,8 @@ std::vector<ScenarioResult> ScenarioBatch::solve_all(
       .collect_distributions = false,
       .fused_kernels = options_.fused_kernels,
       .steady_state_detection = options_.steady_state_detection,
+      .tile_bytes = options_.tile_bytes,
+      .spill_dir = options_.spill_dir,
       .kernel_dispatch = options_.kernel_dispatch};
 
   const core::StateOrdering ordering =

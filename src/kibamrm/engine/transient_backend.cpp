@@ -8,6 +8,7 @@
 #include "kibamrm/engine/adaptive_backend.hpp"
 #include "kibamrm/engine/dense_expm_backend.hpp"
 #include "kibamrm/engine/krylov_backend.hpp"
+#include "kibamrm/engine/ooc_backend.hpp"
 #include "kibamrm/engine/parallel_backend.hpp"
 #include "kibamrm/engine/uniformization_backend.hpp"
 #include "kibamrm/linalg/kernels.hpp"
@@ -38,6 +39,10 @@ std::map<std::string, BackendFactory, std::less<>>& registry() {
       {"krylov",
        [](const BackendOptions& options) -> std::unique_ptr<TransientBackend> {
          return std::make_unique<KrylovBackend>(options);
+       }},
+      {"ooc",
+       [](const BackendOptions& options) -> std::unique_ptr<TransientBackend> {
+         return std::make_unique<OutOfCoreBackend>(options);
        }},
   };
   return backends;

@@ -28,6 +28,13 @@
 //                     cost scales with how fast the *solution* moves,
 //                     not with the spectral radius that defeats the
 //                     explicit stepper and bloats the Poisson window
+//   "ooc"             out-of-core uniformisation: the compacted transposed
+//                     matrix is encoded band-by-band into a tiled spill
+//                     file at solve start and streamed back per DTMC step
+//                     through a double-buffered prefetch pipeline --
+//                     bitwise identical curves to the fused in-memory
+//                     backends at every tile size and thread count, with
+//                     a working set of two tiles plus O(states) vectors
 //
 // New backends (sharded, GPU) register through register_backend() without
 // another restructure of the call sites.
@@ -128,6 +135,25 @@ struct BackendOptions {
   /// pins m = krylov_dim (the fixed-dimension A/B baseline).  Other
   /// backends ignore it.
   bool krylov_adaptive_dim = true;
+  /// Out-of-core backend: serialized-size target per streamed tile of the
+  /// compacted transposed matrix (the "ooc" engine's working set is two
+  /// such tiles plus O(active states) vectors).  Other backends ignore it.
+  std::size_t tile_bytes = 8ull << 20;
+  /// Out-of-core backend: directory for the tile spill file; empty selects
+  /// $TMPDIR (falling back to /tmp).  The file is unlinked while open, so
+  /// it never outlives the solve.  Other backends ignore it.
+  std::string spill_dir;
+  /// Out-of-core backend: attempt O_DIRECT when streaming tiles back
+  /// (silently falls back to buffered reads plus posix_fadvise readahead
+  /// on filesystems that refuse the flag, e.g. tmpfs).  Off by default:
+  /// buffered streaming lets the page cache absorb whatever part of the
+  /// tile file fits -- cache pages are kernel memory, so they count
+  /// against neither RSS nor an address-space cap -- while O_DIRECT turns
+  /// every re-streamed tile into a device round trip.  Turn it on for
+  /// working sets that genuinely dwarf RAM, where cache hits are rare and
+  /// cache pollution hurts the rest of the machine.  Results are bitwise
+  /// identical either way.  Other backends ignore it.
+  bool spill_direct_io = false;
   /// Kernel dispatch for the linalg::kernels vector layer, applied
   /// process-globally by make_backend(): "auto" keeps the current process
   /// setting (CPUID-detected unless already pinned), "scalar" / "avx2" /
@@ -192,6 +218,21 @@ struct BackendStats {
   std::uint64_t matrix_bandwidth = 0;
   std::uint64_t groupable_rows = 0;
   std::uint64_t longest_uniform_run = 0;
+  /// Rows whose offset pattern repeats the previous row's exactly
+  /// (diagonal runs -- the structure a band-sliding kernel exploits) and
+  /// the longest such run; reported by the fused uniformisation engines
+  /// and the ooc backend, 0 elsewhere.
+  std::uint64_t diagonal_rows = 0;
+  std::uint64_t longest_diagonal_run = 0;
+  /// Out-of-core backend: tiles in the spill store, tile reads issued
+  /// over the whole solve, reads satisfied by the prefetched back buffer
+  /// or an already-resident tile, total slab bytes streamed from disk,
+  /// and the spill file's on-disk size; 0 for in-memory backends.
+  std::uint64_t ooc_tiles = 0;
+  std::uint64_t ooc_tile_reads = 0;
+  std::uint64_t ooc_prefetch_hits = 0;
+  std::uint64_t ooc_bytes_streamed = 0;
+  std::uint64_t ooc_spill_bytes = 0;
 };
 
 /// Called with (index, time, distribution) as soon as each requested time

@@ -33,6 +33,8 @@ std::vector<std::vector<double>> UniformizationBackend::solve(
   stats_.matrix_bandwidth = solver.last_stats().matrix_bandwidth;
   stats_.groupable_rows = solver.last_stats().groupable_rows;
   stats_.longest_uniform_run = solver.last_stats().longest_uniform_run;
+  stats_.diagonal_rows = solver.last_stats().diagonal_rows;
+  stats_.longest_diagonal_run = solver.last_stats().longest_diagonal_run;
   return results;
 }
 

@@ -32,6 +32,7 @@ std::optional<FusedGatherPlan> FusedGatherPlan::build(
   // downgrades to the column-delta layout below (without redoing the
   // dictionary); length or dictionary overflow fails the build outright.
   bool offsets_fit = true;
+  std::int64_t max_abs_offset = 0;
   for (std::size_t row = 0; row < matrix.rows(); ++row) {
     const std::uint32_t length = row_ptr[row + 1] - row_ptr[row];
     if (length > std::numeric_limits<std::uint8_t>::max()) return std::nullopt;
@@ -44,6 +45,7 @@ std::optional<FusedGatherPlan> FusedGatherPlan::build(
         offsets_fit = false;
       } else {
         plan.offsets_[k] = static_cast<std::int16_t>(offset);
+        max_abs_offset = std::max(max_abs_offset, std::abs(offset));
       }
       const auto [it, inserted] = ids.try_emplace(
           values[k], static_cast<std::uint16_t>(plan.dictionary_.size()));
@@ -58,6 +60,14 @@ std::optional<FusedGatherPlan> FusedGatherPlan::build(
     }
   }
   if (offsets_fit) {
+    // Software-prefetch heuristic for the scalar kernel on banded
+    // layouts: when the band spans more doubles than fit in a
+    // L1-resident neighbourhood (~4K doubles = 32KB), the x reads of
+    // rows a few iterations ahead miss reliably, and prefetching the
+    // first operand of row + distance hides that latency.  Narrow bands
+    // stay prefetch-free -- the hardware stride prefetcher already owns
+    // them.
+    if (max_abs_offset > 4096) plan.prefetch_distance_ = 16;
     plan.build_uniform_segments();
     // float32 shadow dictionary for the mixed tier (a few KB; built
     // eagerly so the mixed kernels never allocate).
@@ -179,7 +189,18 @@ double FusedGatherPlan::fused_rows_generic(const Value* x, Value* out,
     return static_cast<double>(dictionary[value_ids[e]]) *
            static_cast<double>(x[row + offsets[e]]);
   };
+  // Prefetching never touches the arithmetic, so the bitwise contract is
+  // unaffected; only offsets_-backed (kRowOffset) plans reach this loop.
+  const std::size_t prefetch = prefetch_distance_;
   for (std::size_t row = row_begin; row < row_end; ++row) {
+#if defined(__GNUC__) || defined(__clang__)
+    if (prefetch != 0 && row + prefetch < row_end) {
+      const std::size_t ahead = entry_start_[row + prefetch];
+      if (ahead < entry_start_[row + prefetch + 1]) {
+        __builtin_prefetch(&x[row + prefetch + offsets[ahead]], 0, 1);
+      }
+    }
+#endif
     double v;
     // Canonical per-length evaluation order, mirrored exactly by
     // CsrMatrix::multiply_fused_range and the SIMD kernels, so all
@@ -361,6 +382,45 @@ double FusedGatherPlan::multiply_fused_range_mixed(
   return fused_rows_generic(x.data(), out.data(), accum.data(),
                             dictionary_f_.data(), weight, row_begin,
                             row_end);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+FusedGatherPlan::uniform_segment_spans() const {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  spans.reserve(segments_.size());
+  for (const UniformSegment& segment : segments_) {
+    spans.emplace_back(segment.row_begin,
+                       segment.row_begin + segment.row_count);
+  }
+  return spans;
+}
+
+void FusedGatherPlan::align_ranges_to_segments(
+    std::vector<std::size_t>& ranges) const {
+  KIBAMRM_REQUIRE(ranges.size() >= 2 && ranges.front() == 0 &&
+                      ranges.back() == rows() &&
+                      std::is_sorted(ranges.begin(), ranges.end()),
+                  "align_ranges_to_segments: not a shard partition");
+  if (segments_.empty()) return;
+  for (std::size_t i = 1; i + 1 < ranges.size(); ++i) {
+    const std::size_t boundary = ranges[i];
+    // Segment that could contain the boundary strictly inside it.
+    const auto it = std::partition_point(
+        segments_.begin(), segments_.end(),
+        [&](const UniformSegment& segment) {
+          return segment.row_begin + segment.row_count <= boundary;
+        });
+    if (it == segments_.end() || it->row_begin >= boundary) continue;
+    const std::size_t begin = it->row_begin;
+    const std::size_t end = it->row_begin + it->row_count;
+    ranges[i] = boundary - begin <= end - boundary ? begin : end;
+  }
+  // Snapping can reorder or collapse neighbouring boundaries; restore a
+  // strictly-increasing partition (fewer shards is fine -- the pool's
+  // dynamic claim absorbs it).
+  std::sort(ranges.begin(), ranges.end());
+  ranges.erase(std::unique(ranges.begin(), ranges.end()), ranges.end());
+  if (ranges.size() < 2) ranges = {0, rows()};
 }
 
 double FusedGatherPlan::fused_range_column_delta(

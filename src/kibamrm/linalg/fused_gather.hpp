@@ -58,6 +58,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "kibamrm/linalg/csr_matrix.hpp"
@@ -96,6 +97,21 @@ class FusedGatherPlan {
   /// layout carries a float32 shadow dictionary, the column-delta
   /// fallback does not.
   bool mixed_supported() const { return layout_ == Layout::kRowOffset; }
+
+  /// (row_begin, row_end) of every uniform segment, ascending.
+  std::vector<std::pair<std::size_t, std::size_t>> uniform_segment_spans()
+      const;
+
+  /// Snaps the interior boundaries of a shard partition (ascending,
+  /// ranges.front() == 0, ranges.back() == rows()) to the nearest uniform
+  /// segment edge, deduplicating boundaries that collapse.  A boundary
+  /// inside a segment forces the SIMD segment kernel to take partial
+  /// groups at both shard edges; after snapping, every segment is
+  /// processed whole by exactly one shard.  Bitwise-safe by construction:
+  /// per-row arithmetic is partition-independent, so only load balance
+  /// can change.  No-op for the column-delta layout or when no segments
+  /// exist.
+  void align_ranges_to_segments(std::vector<std::size_t>& ranges) const;
 
   /// Same contract and bitwise-identical result as
   /// CsrMatrix::multiply_fused_range on the source matrix: for rows in
@@ -175,6 +191,12 @@ class FusedGatherPlan {
   std::vector<std::uint16_t> segment_ids_; // entry-major transposed ids:
                                            // ids_base + e*row_count + r
   std::size_t uniform_rows_ = 0;           // rows covered by segments_
+  // Rows of look-ahead for the scalar kernel's software prefetch of x;
+  // 0 disables.  Set at build() time when the band is wide enough that
+  // the x accesses of upcoming rows fall outside the L1-resident
+  // neighbourhood the hardware prefetcher already covers (narrow bands
+  // measured a wash or a small loss from the extra instructions).
+  std::size_t prefetch_distance_ = 0;
   // kColumnDelta layout:
   std::vector<std::uint32_t> first_col_;   // absolute column of entry 0, per row
   std::vector<std::uint16_t> deltas_;      // column gap to the previous entry

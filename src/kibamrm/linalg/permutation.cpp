@@ -237,6 +237,33 @@ StructureStats structure_stats(const CsrMatrix& matrix) {
     stats.longest_uniform_run = std::max(stats.longest_uniform_run, run);
     row = end;
   }
+  // Diagonal runs: rows repeating the previous row's full offset pattern.
+  std::uint64_t current_run = matrix.rows() > 0 ? 1 : 0;
+  for (std::size_t r = 1; r < matrix.rows(); ++r) {
+    const std::uint32_t length = row_ptr[r + 1] - row_ptr[r];
+    bool repeats = length == row_ptr[r] - row_ptr[r - 1];
+    if (repeats) {
+      const std::uint32_t k0 = row_ptr[r - 1];
+      const std::uint32_t k1 = row_ptr[r];
+      for (std::uint32_t e = 0; e < length; ++e) {
+        if (static_cast<std::int64_t>(col_idx[k0 + e]) -
+                static_cast<std::int64_t>(r - 1) !=
+            static_cast<std::int64_t>(col_idx[k1 + e]) -
+                static_cast<std::int64_t>(r)) {
+          repeats = false;
+          break;
+        }
+      }
+    }
+    if (repeats) {
+      ++stats.diagonal_rows;
+      ++current_run;
+      stats.longest_diagonal_run =
+          std::max(stats.longest_diagonal_run, current_run);
+    } else {
+      current_run = 1;
+    }
+  }
   return stats;
 }
 

@@ -89,6 +89,16 @@ struct StructureStats {
   std::uint64_t groupable_rows = 0;
   /// Length of the longest such run.
   std::uint64_t longest_uniform_run = 0;
+  /// Rows whose entire column-offset pattern (col - row, per entry)
+  /// repeats the previous row's -- "diagonal runs", the structure an
+  /// RCM/level-banded numbering produces in bulk.  Inside one, entry e of
+  /// consecutive rows reads consecutive x addresses, which is what the
+  /// uniform-segment SIMD kernels and the software-prefetch heuristic
+  /// key on; unlike groupable_rows this requires identical offsets, not
+  /// just equal lengths.
+  std::uint64_t diagonal_rows = 0;
+  /// Length of the longest diagonal run (counting its first row).
+  std::uint64_t longest_diagonal_run = 0;
 
   /// groupable_rows / rows (0 for an empty matrix).
   double groupable_fraction() const {

@@ -121,6 +121,8 @@ std::vector<std::vector<double>> TransientSolver::solve(
     stats_.matrix_bandwidth = fused_structure_.bandwidth;
     stats_.groupable_rows = fused_structure_.groupable_rows;
     stats_.longest_uniform_run = fused_structure_.longest_uniform_run;
+    stats_.diagonal_rows = fused_structure_.diagonal_rows;
+    stats_.longest_diagonal_run = fused_structure_.longest_diagonal_run;
   }
 
   // power_ holds pi(t_k) P^n during an increment; it is (re)filled from

@@ -104,6 +104,10 @@ struct TransientStats {
   std::uint64_t matrix_bandwidth = 0;
   std::uint64_t groupable_rows = 0;
   std::uint64_t longest_uniform_run = 0;
+  /// Rows repeating the previous row's full offset pattern (diagonal
+  /// runs) and the longest such run; see linalg::StructureStats.
+  std::uint64_t diagonal_rows = 0;
+  std::uint64_t longest_diagonal_run = 0;
 };
 
 /// Computes pi(t) for each t in `times` (must be sorted ascending, >= 0).

@@ -1,0 +1,152 @@
+// Tests for the out-of-core uniformisation backend: bitwise parity with
+// the in-memory fused parallel backend at every tile size and thread
+// count (the tentpole guarantee -- tiling and streaming must never change
+// a bit), streaming stats, and option validation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/core/approx_solver.hpp"
+#include "kibamrm/core/expanded_ctmc.hpp"
+#include "kibamrm/core/lifetime_distribution.hpp"
+#include "kibamrm/engine/ooc_backend.hpp"
+#include "kibamrm/engine/transient_backend.hpp"
+#include "kibamrm/workload/onoff_model.hpp"
+
+namespace kibamrm::engine {
+namespace {
+
+core::KibamRmModel fig8_kibam() {
+  return core::KibamRmModel(
+      workload::make_onoff_model({.frequency = 1.0, .erlang_k = 1,
+                                  .on_current = 0.96}),
+      {.capacity = 7200.0, .available_fraction = 0.625,
+       .flow_constant = 4.5e-5});
+}
+
+TEST(OocBackend, RegisteredByName) {
+  EXPECT_TRUE(is_backend_name("ooc"));
+  EXPECT_EQ(make_backend("ooc")->name(), "ooc");
+}
+
+TEST(OocBackend, BitwiseIdenticalToFusedBackendAcrossTileSizesAndThreads) {
+  // The acceptance property: ooc curves equal the in-memory fused
+  // backend's bit for bit at every tested tile size and thread count.
+  // Small tile_bytes force genuinely multi-tile streams on this ~10k
+  // state chain; the MB-scale sizes cover the resident single-tile
+  // degeneration.
+  const auto expanded = core::build_expanded_chain(fig8_kibam(), 50.0);
+  const std::vector<double> times = {8000.0, 12000.0};
+  auto reference = make_backend("parallel", {.threads = 1});
+  const auto baseline =
+      reference->solve(expanded.chain, expanded.initial, times);
+  const std::uint64_t baseline_iterations =
+      reference->last_stats().iterations;
+
+  for (const std::size_t tile_bytes :
+       {std::size_t{4096}, std::size_t{65536}, std::size_t{1} << 20,
+        std::size_t{4} << 20, std::size_t{64} << 20}) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      auto backend = make_backend(
+          "ooc", {.threads = threads, .tile_bytes = tile_bytes});
+      const auto result =
+          backend->solve(expanded.chain, expanded.initial, times);
+      // Bitwise equality, not a tolerance.
+      EXPECT_EQ(result, baseline)
+          << "tile_bytes = " << tile_bytes << ", threads = " << threads;
+      EXPECT_EQ(backend->last_stats().iterations, baseline_iterations)
+          << "steady-state detection must fire at the same step";
+      EXPECT_GT(backend->last_stats().ooc_tiles, 0u);
+      EXPECT_GT(backend->last_stats().ooc_spill_bytes, 0u);
+      EXPECT_GT(backend->last_stats().ooc_bytes_streamed, 0u);
+      if (tile_bytes == 4096) {
+        EXPECT_GT(backend->last_stats().ooc_tiles, 1u)
+            << "4KB tiles must split this chain";
+      }
+    }
+  }
+}
+
+TEST(OocBackend, MatchesReferenceWithDetectionDisabled) {
+  // Without the early-termination short circuit the full Fox-Glynn
+  // window streams through the tiles; parity must hold there too.
+  const auto expanded = core::build_expanded_chain(fig8_kibam(), 100.0);
+  const std::vector<double> times = {10000.0};
+  auto reference = make_backend(
+      "parallel", {.threads = 1, .steady_state_detection = false});
+  const auto baseline =
+      reference->solve(expanded.chain, expanded.initial, times);
+  auto backend = make_backend("ooc", {.threads = 2,
+                                      .steady_state_detection = false,
+                                      .tile_bytes = 16384});
+  const auto result =
+      backend->solve(expanded.chain, expanded.initial, times);
+  EXPECT_EQ(result, baseline);
+  EXPECT_EQ(backend->last_stats().iterations,
+            reference->last_stats().iterations);
+}
+
+TEST(OocBackend, StreamsEveryTileEveryIterationWhenMultiTile) {
+  // delta = 50 puts the chain above the pool-engagement threshold, so the
+  // double-buffered IO/compute pipeline (not the inline sweep) runs.
+  const auto expanded = core::build_expanded_chain(fig8_kibam(), 50.0);
+  const std::vector<double> times = {12000.0};
+  auto backend = make_backend("ooc", {.threads = 2, .tile_bytes = 4096});
+  backend->solve(expanded.chain, expanded.initial, times);
+  const BackendStats& stats = backend->last_stats();
+  ASSERT_GT(stats.ooc_tiles, 2u);
+  // Reads + satisfied lookups together cover every tile of every DTMC
+  // step (each step sweeps all tiles once).
+  EXPECT_GE(stats.ooc_tile_reads + stats.ooc_prefetch_hits,
+            stats.iterations * stats.ooc_tiles);
+  // The double buffer turns the steady-state sweep into hits: with a
+  // working prefetch pipeline the overwhelming majority of lookups never
+  // wait for a synchronous read.
+  EXPECT_GT(stats.ooc_prefetch_hits, 0u);
+  EXPECT_EQ(stats.ooc_bytes_streamed > 0u, true);
+}
+
+TEST(OocBackend, SingleTileChainReadsOnce) {
+  const auto expanded = core::build_expanded_chain(fig8_kibam(), 300.0);
+  const std::vector<double> times = {12000.0};
+  auto backend = make_backend("ooc", {.tile_bytes = 256ull << 20});
+  backend->solve(expanded.chain, expanded.initial, times);
+  const BackendStats& stats = backend->last_stats();
+  EXPECT_EQ(stats.ooc_tiles, 1u);
+  EXPECT_EQ(stats.ooc_tile_reads, 1u) << "resident tile must not re-read";
+}
+
+TEST(OocBackend, ApproximationPipelineMatchesParallelEngine) {
+  // End-to-end through MarkovianApproximation: the fig8 curve from
+  // "--engine ooc" equals the in-memory fused engine's bitwise.
+  const auto times = core::uniform_grid(6000.0, 20000.0, 10);
+  core::MarkovianApproximation reference(
+      fig8_kibam(), {.delta = 100.0, .engine = "parallel", .threads = 2});
+  const core::LifetimeCurve expected = reference.solve(times);
+  core::MarkovianApproximation solver(fig8_kibam(),
+                                      {.delta = 100.0,
+                                       .engine = "ooc",
+                                       .threads = 2,
+                                       .tile_bytes = 8192});
+  const core::LifetimeCurve curve = solver.solve(times);
+  EXPECT_EQ(curve.probabilities(), expected.probabilities());
+  EXPECT_GT(solver.last_stats().ooc_tiles, 1u);
+  EXPECT_GT(solver.last_stats().ooc_bytes_streamed, 0u);
+  EXPECT_EQ(solver.last_stats().active_states,
+            reference.last_stats().active_states);
+}
+
+TEST(OocBackend, RejectsBadOptions) {
+  EXPECT_THROW(make_backend("ooc", {.epsilon = 0.0}), InvalidArgument);
+  EXPECT_THROW(make_backend("ooc", {.tile_bytes = 0}), InvalidArgument);
+  const auto expanded = core::build_expanded_chain(fig8_kibam(), 450.0);
+  auto backend =
+      make_backend("ooc", {.spill_dir = "/nonexistent/spill/dir"});
+  EXPECT_THROW(
+      backend->solve(expanded.chain, expanded.initial, {10000.0}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace kibamrm::engine

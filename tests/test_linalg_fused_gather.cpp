@@ -177,6 +177,91 @@ TEST(FusedGatherPlan, RangesComposeBitwise) {
   EXPECT_EQ(accum, accum_full);
 }
 
+// Constant three-point stencil with a pattern break every `period` rows
+// (an extra entry), so the plan finds many uniform segments separated by
+// single irregular rows -- the shape an RCM-banded battery chain takes.
+CsrMatrix stencil_with_breaks(std::size_t n, std::size_t period) {
+  CooBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    if (i > 0) {
+      builder.add(i, i - 1, 0.3);
+      off += 0.3;
+    }
+    if (i + 1 < n) {
+      builder.add(i, i + 1, 0.2);
+      off += 0.2;
+    }
+    if (i % period == 0 && i + 2 < n) {
+      builder.add(i, i + 2, 0.1);
+      off += 0.1;
+    }
+    builder.add(i, i, 1.0 - off);
+  }
+  return builder.build();
+}
+
+TEST(FusedGatherPlan, SegmentSpansAreOrderedUniformRuns) {
+  const CsrMatrix pt = stencil_with_breaks(211, 50).transposed();
+  const auto plan = FusedGatherPlan::build(pt);
+  ASSERT_TRUE(plan.has_value());
+  // Spans cover the uniform runs only (gaps are the irregular rows), in
+  // ascending row order without overlap.
+  const auto spans = plan->uniform_segment_spans();
+  ASSERT_GE(spans.size(), 3u);
+  std::size_t cursor = 0;
+  for (const auto& [begin, end] : spans) {
+    EXPECT_GE(begin, cursor);
+    EXPECT_LT(begin, end);
+    EXPECT_LE(end, plan->rows());
+    cursor = end;
+  }
+}
+
+TEST(FusedGatherPlan, AlignRangesSnapsToSegmentEdgesBitwise) {
+  const CsrMatrix pt = stencil_with_breaks(509, 50).transposed();
+  const auto plan = FusedGatherPlan::build(pt);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_FALSE(plan->uniform_segment_spans().empty());
+  // An arbitrary unaligned partition; after alignment no interior
+  // boundary may sit strictly inside a uniform segment (it either snapped
+  // to a segment edge or already lay in an irregular gap), and the whole
+  // thing must remain a strictly ascending partition of [0, rows).
+  std::vector<std::size_t> ranges = {0, 97, 222, 351, 509};
+  plan->align_ranges_to_segments(ranges);
+  ASSERT_GE(ranges.size(), 2u);
+  EXPECT_EQ(ranges.front(), 0u);
+  EXPECT_EQ(ranges.back(), plan->rows());
+  const auto spans = plan->uniform_segment_spans();
+  for (std::size_t i = 0; i + 1 < ranges.size(); ++i) {
+    EXPECT_LT(ranges[i], ranges[i + 1]);
+    if (i == 0) continue;
+    for (const auto& [begin, end] : spans) {
+      EXPECT_FALSE(begin < ranges[i] && ranges[i] < end)
+          << "boundary " << ranges[i] << " splits segment [" << begin
+          << ", " << end << ")";
+    }
+  }
+
+  // Aligned shards still compose to the full-range result bit for bit
+  // (alignment is an optimisation for the segment-run kernel, never a
+  // semantic change).
+  const std::vector<double> x = random_vector(509, 6);
+  std::vector<double> out_full(509, 0.0), accum_full(509, 0.0);
+  const double delta_full =
+      plan->multiply_fused_range(x, out_full, accum_full, 0.625, 0, 509);
+  std::vector<double> out(509, 0.0), accum(509, 0.0);
+  double delta = 0.0;
+  for (std::size_t i = 0; i + 1 < ranges.size(); ++i) {
+    delta = std::max(delta, plan->multiply_fused_range(
+                                x, out, accum, 0.625, ranges[i],
+                                ranges[i + 1]));
+  }
+  EXPECT_EQ(out, out_full);
+  EXPECT_EQ(accum, accum_full);
+  EXPECT_EQ(delta, delta_full);
+}
+
 TEST(FusedGatherPlan, WideOffsetsFallBackToColumnDelta) {
   // A synthetic wide chain: couplings 40000 columns from the row escape
   // the int16 row-offset layout, but every within-row column gap fits

@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <string>
 
+#include "kibamrm/common/thread_annotations.hpp"
+
 namespace kibamrm::common {
 
 /// 64-bit FNV-1a over `bytes` bytes starting at `data`; `seed` chains
@@ -61,7 +63,18 @@ class AlignedBuffer {
 /// RAII POSIX file with positional exact-length IO.  The spill files are
 /// single-writer single-format scratch, so there is no seek state: every
 /// transfer names its offset.
-class SpillFile {
+///
+/// KIBAMRM_EXTERNALLY_SYNCHRONIZED: a SpillFile is owned by exactly one
+/// TileStore.  The mutating operations (create/open/close/unlink/sync/
+/// write_exact) run on the owner's thread only; concurrent read_exact /
+/// advise_willneed calls are safe because pread takes no descriptor
+/// state (each call names its own offset) and fd_ / direct_ / path_ are
+/// immutable between open and close.  The ooc pipeline's IO lane is the
+/// only reader during a streamed step, handed off through the pool's
+/// dispatch barrier.
+class KIBAMRM_EXTERNALLY_SYNCHRONIZED(
+    "single owner; pread is stateless, members frozen between open/close")
+    SpillFile {
  public:
   SpillFile() = default;
   ~SpillFile();

@@ -21,25 +21,27 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   job_ready_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::drain(std::size_t lane) {
+void ThreadPool::drain(
+    const std::function<void(std::size_t, std::size_t)>& task,
+    std::size_t count, std::size_t lane) {
   for (;;) {
     const std::size_t index = next_.fetch_add(1, std::memory_order_relaxed);
-    if (index >= count_) return;
+    if (index >= count) return;
     try {
-      (*task_)(index, lane);
+      task(index, lane);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!failure_) failure_ = std::current_exception();
       // Stop claiming further work; indices already claimed elsewhere
       // still finish, which keeps the join below well-defined.
-      next_.store(count_, std::memory_order_relaxed);
+      next_.store(count, std::memory_order_relaxed);
     }
   }
 }
@@ -47,17 +49,24 @@ void ThreadPool::drain(std::size_t lane) {
 void ThreadPool::worker_loop(std::size_t lane) {
   std::uint64_t seen_generation = 0;
   for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* task = nullptr;
+    std::size_t count = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      job_ready_.wait(lock, [&] {
-        return stopping_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mutex_);
+      while (!stopping_ && generation_ == seen_generation) {
+        job_ready_.wait(mutex_);
+      }
       if (stopping_) return;
       seen_generation = generation_;
+      // Copy the job out under the lock: drain() never touches the
+      // guarded members (parallel_for keeps *task alive until every
+      // lane has retired through active_ below).
+      task = task_;
+      count = count_;
     }
-    drain(lane);
+    drain(*task, count, lane);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
     }
     job_done_.notify_one();
@@ -76,7 +85,7 @@ void ThreadPool::parallel_for(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     task_ = &task;
     count_ = count;
     next_.store(0, std::memory_order_relaxed);
@@ -85,16 +94,16 @@ void ThreadPool::parallel_for(
     ++generation_;
   }
   job_ready_.notify_all();
-  drain(0);  // the caller participates as lane 0
-  std::unique_lock<std::mutex> lock(mutex_);
-  job_done_.wait(lock, [&] { return active_ == 0; });
-  task_ = nullptr;
-  if (failure_) {
-    std::exception_ptr failure = failure_;
+  drain(task, count, 0);  // the caller participates as lane 0
+  std::exception_ptr failure;
+  {
+    MutexLock lock(mutex_);
+    while (active_ != 0) job_done_.wait(mutex_);
+    task_ = nullptr;
+    failure = failure_;
     failure_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(failure);
   }
+  if (failure) std::rethrow_exception(failure);
 }
 
 }  // namespace kibamrm::common

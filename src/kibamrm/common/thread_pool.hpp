@@ -14,14 +14,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "kibamrm/common/thread_annotations.hpp"
 
 namespace kibamrm::common {
 
@@ -49,31 +49,44 @@ class ThreadPool {
   /// exception thrown by a task is rethrown here after the loop drains.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t index,
-                                             std::size_t lane)>& task);
+                                             std::size_t lane)>& task)
+      KIBAMRM_EXCLUDES(mutex_);
 
   /// std::thread::hardware_concurrency() with a floor of 1.
   static std::size_t hardware_thread_count();
 
  private:
-  void worker_loop(std::size_t lane);
-  /// Claims indices until the job is exhausted; records the first failure.
-  void drain(std::size_t lane);
+  void worker_loop(std::size_t lane) KIBAMRM_EXCLUDES(mutex_);
+  /// Claims indices of the job (`task`, `count` -- read from the guarded
+  /// members under the lock by the caller) until it is exhausted;
+  /// records the first failure.  Taking the job by value keeps every
+  /// access to the guarded members inside a locked scope.
+  void drain(const std::function<void(std::size_t, std::size_t)>& task,
+             std::size_t count, std::size_t lane) KIBAMRM_EXCLUDES(mutex_);
 
   std::size_t lanes_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable job_ready_;
-  std::condition_variable job_done_;
+  Mutex mutex_;
+  CondVar job_ready_;
+  CondVar job_done_;
   // Current job; generation_ bumps once per dispatch so late-waking
-  // workers never re-run a finished job.
-  const std::function<void(std::size_t, std::size_t)>* task_ = nullptr;
-  std::size_t count_ = 0;
-  std::atomic<std::size_t> next_{0};  // next unclaimed index (lock-free)
-  std::size_t active_ = 0;            // workers still inside drain()
-  std::uint64_t generation_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr failure_;
+  // workers never re-run a finished job.  Workers copy task_/count_ out
+  // under the lock in worker_loop before entering drain().
+  const std::function<void(std::size_t, std::size_t)>* task_
+      KIBAMRM_GUARDED_BY(mutex_) = nullptr;
+  std::size_t count_ KIBAMRM_GUARDED_BY(mutex_) = 0;
+  // Next unclaimed index.  KIBAMRM_LOCK_FREE: fetch_add(relaxed) only
+  // hands out disjoint indices -- no other state is ordered through it;
+  // publication of the job itself rides the mutex_ handshake, and the
+  // store that poisons the counter on failure is ordered by the same
+  // lock around failure_.
+  std::atomic<std::size_t> next_{0}
+      KIBAMRM_LOCK_FREE("disjoint index claims; job published via mutex_");
+  std::size_t active_ KIBAMRM_GUARDED_BY(mutex_) = 0;  // lanes inside drain()
+  std::uint64_t generation_ KIBAMRM_GUARDED_BY(mutex_) = 0;
+  bool stopping_ KIBAMRM_GUARDED_BY(mutex_) = false;
+  std::exception_ptr failure_ KIBAMRM_GUARDED_BY(mutex_);
 };
 
 }  // namespace kibamrm::common

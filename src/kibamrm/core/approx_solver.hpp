@@ -46,7 +46,7 @@ struct ApproximationOptions {
   /// spill-file directory (empty selects $TMPDIR, falling back to /tmp);
   /// forwarded to engine::BackendOptions.  Ignored by other engines.
   std::size_t tile_bytes = 8ull << 20;
-  std::string spill_dir;
+  std::string spill_dir = "";
   /// Vector-kernel tier pin ("auto" / "scalar" / "avx2" / "avx512" /
   /// "mixed"), forwarded to engine::BackendOptions::kernel_dispatch
   /// (process-global; the double tiers are bitwise identical, the mixed

@@ -346,6 +346,7 @@ void KrylovBackend::integrate(
 
       if (accepted) {
         state.swap(stepped_);
+        // kibamrm-lint: allow(reduction-contract) sequential time-marching sum; step sizes arrive one at a time, order is the control flow itself
         t_done += attempted;
         ++stats_.substeps;
         // A boundary-clipped accepted step says nothing against the

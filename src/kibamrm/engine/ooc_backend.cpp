@@ -294,6 +294,7 @@ std::vector<std::vector<double>> OutOfCoreBackend::solve(
           if (++calm_steps >= 2) {
             double residual = 0.0;
             for (std::uint64_t m = n + 1; m <= window.right; ++m) {
+              // kibamrm-lint: allow(reduction-contract) single-threaded sum of Fox-Glynn tail weights in fixed ascending m order; no thread-count dependence
               residual += window.weight(m);
             }
             if (residual > 0.0) {

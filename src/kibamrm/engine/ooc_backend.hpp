@@ -33,6 +33,7 @@
 #include <atomic>
 #include <memory>
 
+#include "kibamrm/common/thread_annotations.hpp"
 #include "kibamrm/common/thread_pool.hpp"
 #include "kibamrm/engine/transient_backend.hpp"
 #include "kibamrm/linalg/tile_store.hpp"
@@ -73,13 +74,30 @@ class OutOfCoreBackend final : public TransientBackend {
   // IO role has the tile in its buffer, tile_claim_/tile_done_ hand out
   // and retire compute shards, tile_stalled_ records that a compute lane
   // had to wait (the complement of a prefetch hit).
-  std::unique_ptr<std::atomic<std::uint32_t>[]> tile_ready_;
-  std::unique_ptr<std::atomic<std::size_t>[]> tile_claim_;
-  std::unique_ptr<std::atomic<std::size_t>[]> tile_done_;
-  std::unique_ptr<std::atomic<std::uint32_t>[]> tile_stalled_;
+  //
+  // KIBAMRM_LOCK_FREE: the pipeline is a release-acquire hand-off chain.
+  // The IO lane decodes tile t into buffers_[t%2] and then STORES
+  // tile_ready_[t] with release; a compute lane LOADS it with acquire
+  // before touching the buffer, so the decoded slab happens-before every
+  // shard that reads it.  tile_claim_ hands out disjoint shard indices
+  // (fetch_add, relaxed -- same argument as ThreadPool::next_);
+  // tile_done_ retires them with release so the IO lane's acquire spin
+  // on it sees all shard writes before recycling the buffer for tile
+  // t+2.  tile_stalled_ is a relaxed telemetry flag (its value never
+  // gates an access).  Any mutex here would serialise the very overlap
+  // the double buffer exists to create.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> tile_ready_
+      KIBAMRM_LOCK_FREE("release publish of the decoded slab, see above");
+  std::unique_ptr<std::atomic<std::size_t>[]> tile_claim_
+      KIBAMRM_LOCK_FREE("disjoint shard claims, relaxed fetch_add");
+  std::unique_ptr<std::atomic<std::size_t>[]> tile_done_
+      KIBAMRM_LOCK_FREE("release retire / acquire spin recycles buffers");
+  std::unique_ptr<std::atomic<std::uint32_t>[]> tile_stalled_
+      KIBAMRM_LOCK_FREE("telemetry only; never gates an access");
   // First failure inside the pipeline; waits abort on it so a throwing
   // read (corrupt spill file) can never deadlock the step.
-  std::atomic<bool> step_abort_{false};
+  std::atomic<bool> step_abort_{false} KIBAMRM_LOCK_FREE(
+      "monotonic abort flag; the failure itself rides the pool's rethrow");
   // Double-buffered tile stream: buffers_[i] holds tile held_[i] (kNone
   // when empty).  The compute sweep reads the front buffer while the
   // pool's IO task fills the back buffer with the next tile.

@@ -98,7 +98,7 @@ struct ScenarioBatchOptions {
   /// Forwarded to the "ooc" engine of every lane: serialized-size target
   /// per streamed tile and the spill directory (empty selects $TMPDIR).
   std::size_t tile_bytes = 8ull << 20;
-  std::string spill_dir;
+  std::string spill_dir = "";
   /// Vector-kernel tier pin ("auto" / "scalar" / "avx2" / "avx512" /
   /// "mixed"), forwarded to every lane's
   /// BackendOptions::kernel_dispatch -- the pin is process-global, so one

@@ -142,7 +142,7 @@ struct BackendOptions {
   /// Out-of-core backend: directory for the tile spill file; empty selects
   /// $TMPDIR (falling back to /tmp).  The file is unlinked while open, so
   /// it never outlives the solve.  Other backends ignore it.
-  std::string spill_dir;
+  std::string spill_dir = "";
   /// Out-of-core backend: attempt O_DIRECT when streaming tiles back
   /// (silently falls back to buffered reads plus posix_fadvise readahead
   /// on filesystems that refuse the flag, e.g. tmpfs).  Off by default:

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "kibamrm/common/thread_annotations.hpp"
 #include "kibamrm/linalg/dense_matrix.hpp"
 
 namespace kibamrm::linalg {
@@ -56,13 +57,20 @@ class ScaledExpmCache {
   std::uint64_t evaluations() const { return evaluations_; }
 
  private:
+  // KIBAMRM_EXTERNALLY_SYNCHRONIZED: one cache per KrylovBackend solve
+  // (or per expm() call), owned and queried by a single thread -- the
+  // pool shards *inside* a solve never touch the Hessenberg expm.  The
+  // cached powers are immutable after construction; evaluations_ is the
+  // only mutation and rides the same single-owner contract (a shared
+  // cache would need it atomic *and* the Pade scratch per-thread).
   DenseReal a_;   // square embedding of the input, pre-divided by prescale_
   DenseReal a2_;  // A^2
   DenseReal a4_;  // A^4
   DenseReal a6_;  // A^6
   double norm_ = 0.0;      // ||A||_1 of the (prescaled) embedding
   double prescale_ = 1.0;  // exact power of two keeping A^6 representable
-  mutable std::uint64_t evaluations_ = 0;
+  mutable std::uint64_t evaluations_ = 0 KIBAMRM_EXTERNALLY_SYNCHRONIZED(
+      "single-owner cache; see the class invariant note above");
 };
 
 }  // namespace kibamrm::linalg

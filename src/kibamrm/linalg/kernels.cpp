@@ -9,6 +9,7 @@
 
 #include "kibamrm/common/cpu_features.hpp"
 #include "kibamrm/common/error.hpp"
+#include "kibamrm/common/thread_annotations.hpp"
 #include "kibamrm/linalg/kernels_internal.hpp"
 
 namespace kibamrm::linalg::kernels {
@@ -17,9 +18,15 @@ namespace {
 
 // Pinned tier, or kNoPin.  Reads are on every kernel call, so relaxed
 // atomics; the pin itself is a rare configuration event.
+// KIBAMRM_LOCK_FREE: each flag is an independent word -- no invariant
+// couples them, every load observes some pin that was fully set, and
+// set_dispatch() documents that a pin takes effect "on the next kernel
+// call", which is exactly the guarantee a relaxed store provides.
 constexpr int kNoPin = -1;
-std::atomic<int> g_pin{kNoPin};
-std::atomic<bool> g_gather_grouping{false};
+std::atomic<int> g_pin{kNoPin} KIBAMRM_LOCK_FREE(
+    "independent word; relaxed pin visible on the next kernel call");
+std::atomic<bool> g_gather_grouping{false} KIBAMRM_LOCK_FREE(
+    "independent word; relaxed toggle, bits identical either way");
 
 void apply_environment_pin_once() {
   static const bool applied = [] {

@@ -18,6 +18,8 @@
 #include <memory>
 #include <vector>
 
+#include "kibamrm/common/thread_annotations.hpp"
+
 namespace kibamrm::markov {
 
 /// Truncated Poisson distribution: weights[i] approximates
@@ -88,7 +90,15 @@ class UniformizationPlan {
     std::shared_ptr<const PoissonWindow> window;
   };
 
-  std::list<Entry> entries_;  // most recently used first
+  // KIBAMRM_EXTERNALLY_SYNCHRONIZED: every plan is single-owner -- a
+  // member of one solver/backend queried from its solve thread, or the
+  // poisson_tail thread_local.  window() splices the LRU list on every
+  // hit, so a *shared* plan would race on reads too; sharing one across
+  // threads (the ROADMAP daemon's cross-request cache) requires a
+  // Mutex-guarded wrapper, not this class.  The returned shared_ptr is
+  // safe to hand across threads once obtained (the pointee is const).
+  std::list<Entry> entries_ KIBAMRM_EXTERNALLY_SYNCHRONIZED(
+      "single-owner cache; LRU splice mutates on reads");
   std::size_t capacity_;
   double lambda_slack_;
   std::uint64_t computed_ = 0;

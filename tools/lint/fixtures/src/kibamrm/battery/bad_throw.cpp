@@ -1,0 +1,14 @@
+// Fixture: library code throwing a std:: exception type (line 8);
+// line 13 is suppressed with a justified allow().
+#include <stdexcept>
+
+namespace kibamrm::battery {
+
+inline void validate(int levels) {
+  if (levels < 0) throw std::runtime_error("negative level count");
+}
+
+// kibamrm-lint: allow(error-discipline) fixture: a justified suppression
+inline void validate_allowed() { throw std::invalid_argument("fixture"); }
+
+}  // namespace kibamrm::battery

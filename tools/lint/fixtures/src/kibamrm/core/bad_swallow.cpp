@@ -1,0 +1,35 @@
+// Fixture: catch (...) that swallows without rethrow or record, and
+// an allow() annotation missing its mandatory justification.
+namespace kibamrm::core {
+
+int risky();
+
+// Swallows: neither `throw;` nor std::current_exception() -- flagged.
+inline int swallow_bad() {
+  try {
+    return risky();
+  } catch (...) {
+    return -1;
+  }
+}
+
+// Rethrow after cleanup: fine.
+inline int rethrow_ok() {
+  try {
+    return risky();
+  } catch (...) {
+    throw;
+  }
+}
+
+// An allow() without a justification is itself a finding (reported on
+// the annotation line).
+inline int swallow_unjustified() {
+  try {
+    return risky();
+  } catch (...) {  // kibamrm-lint: allow(error-discipline)
+    return 0;
+  }
+}
+
+}  // namespace kibamrm::core

@@ -1,0 +1,15 @@
+// Fixture: catch (...) that records the exception -- clean.
+#include <exception>
+
+namespace kibamrm::core {
+
+inline std::exception_ptr capture(void (*callback)()) {
+  try {
+    callback();
+  } catch (...) {
+    return std::current_exception();
+  }
+  return nullptr;
+}
+
+}  // namespace kibamrm::core

@@ -1,0 +1,25 @@
+// Fixture: raw scalar floating accumulation loop in engine code.
+#include <cstddef>
+
+namespace kibamrm::engine {
+
+double sum_bad(const double* x, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // The rounding order of this loop is invisible to the kernels::
+    // contract: must be flagged (line 11).
+    sum += x[i];
+  }
+  return sum;
+}
+
+double sum_allowed(const double* x, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // kibamrm-lint: allow(reduction-contract) fixture: justified
+    total += x[i];
+  }
+  return total;
+}
+
+}  // namespace kibamrm::engine

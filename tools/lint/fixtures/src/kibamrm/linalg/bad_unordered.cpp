@@ -1,0 +1,24 @@
+// Fixture: unordered-container iteration feeding a result (linalg/).
+#include <unordered_map>
+
+namespace kibamrm::linalg {
+
+double lookup_ok(const std::unordered_map<int, double>& table, int key) {
+  auto it = table.find(key);  // point lookups are order-independent: ok
+  return it == table.end() ? 0.0 : it->second;
+}
+
+double product_bad(const std::unordered_map<int, double>& table) {
+  double total = 1.0;
+  for (const auto& [key, value] : table) total *= value;
+  return total;
+}
+
+double iterate_bad(std::unordered_map<int, double>& table) {
+  double first = 0.0;
+  auto it = table.begin();
+  if (it != table.end()) first = it->second;
+  return first;
+}
+
+}  // namespace kibamrm::linalg

@@ -1,0 +1,7 @@
+// Fixture: a contract TU correctly pinned in the fixture CMakeLists.txt
+// (clean: the check must NOT flag this file).
+namespace kibamrm::linalg::kernels {
+inline double reduce_pairwise_fixture(const double* partials, int count) {
+  return count > 0 ? partials[0] : 0.0;  // marker: reduce_pairwise
+}
+}  // namespace kibamrm::linalg::kernels

@@ -1,0 +1,5 @@
+// Fixture: a contract TU (kBlockDoubles marker) the fixture
+// CMakeLists.txt does NOT pin with -ffp-contract=off.
+namespace kibamrm::linalg::kernels {
+inline constexpr unsigned long kBlockDoubles = 256;
+}  // namespace kibamrm::linalg::kernels

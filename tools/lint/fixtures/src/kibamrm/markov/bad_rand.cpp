@@ -1,0 +1,21 @@
+// Fixture: unseeded randomness in a result path (markov/).
+// Seeded violations on lines 10 and 14; line 19 is suppressed.
+#include <cstdlib>
+#include <random>
+
+namespace kibamrm::markov {
+
+double jitter();
+double jitter() {
+  return static_cast<double>(rand());
+}
+
+double seeded_wrong() {
+  std::mt19937 engine(42);
+  return static_cast<double>(engine());
+}
+
+// kibamrm-lint: allow(determinism) fixture: a justified suppression
+inline unsigned suppressed_ok = rand();
+
+}  // namespace kibamrm::markov

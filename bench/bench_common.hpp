@@ -14,7 +14,10 @@
 //   --no-detect     disable steady-state early termination
 //   --tile-mb N     streamed tile size in MB for --engine ooc (default 8)
 //   --spill-dir P   directory for the ooc engine's tile spill file
-//                   (default $TMPDIR, falling back to /tmp)
+//                   (default $TMPDIR, falling back to /tmp); must exist
+//   --shards N      worker processes for --engine sharded (default 1;
+//                   each worker additionally runs --threads lanes, so
+//                   shards x threads composes)
 //   --kernels T     pin the vector-kernel tier:
 //                   scalar | avx2 | avx512 | mixed | auto
 //                   (default auto = CPUID; the double tiers are bitwise
@@ -188,6 +191,9 @@ class BenchReport {
 /// under a fictitious thread count 0.
 inline std::size_t resolved_thread_count(const std::string& engine,
                                          std::size_t requested) {
+  // The sharded engine reads 0 as one lane per worker (auto-detecting
+  // inside N forked workers would oversubscribe N-fold).
+  if (engine == "sharded") return requested == 0 ? 1 : requested;
   if (engine != "parallel" && engine != "krylov" && engine != "ooc") {
     return 1;
   }
@@ -208,7 +214,9 @@ inline void apply_engine_tuning(const common::CliArgs& args,
   options.reorder = reorder_choice(args);
   options.tile_bytes =
       static_cast<std::size_t>(args.get_positive_int("tile-mb", 8)) << 20;
-  options.spill_dir = args.get("spill-dir", "");
+  options.spill_dir = args.get_directory("spill-dir", "");
+  options.shards =
+      static_cast<std::size_t>(args.get_positive_int("shards", 1));
 }
 
 inline void apply_engine_tuning(const common::CliArgs& args,
@@ -219,7 +227,9 @@ inline void apply_engine_tuning(const common::CliArgs& args,
   options.reorder = reorder_choice(args);
   options.tile_bytes =
       static_cast<std::size_t>(args.get_positive_int("tile-mb", 8)) << 20;
-  options.spill_dir = args.get("spill-dir", "");
+  options.spill_dir = args.get_directory("spill-dir", "");
+  options.shards =
+      static_cast<std::size_t>(args.get_positive_int("shards", 1));
 }
 
 /// One engine-backed approximation solve for the sweep drivers: constructs
@@ -301,6 +311,10 @@ inline BenchRecord& add_engine_record(BenchReport& report,
       .field("ooc_prefetch_hits", run.stats.ooc_prefetch_hits)
       .field("ooc_bytes_streamed", run.stats.ooc_bytes_streamed)
       .field("ooc_spill_bytes", run.stats.ooc_spill_bytes)
+      .field("shards", run.stats.shards)
+      .field("halo_bytes_per_step", run.stats.halo_bytes_per_step)
+      .field("halo_wait_ns", run.stats.halo_wait_ns)
+      .field("shard_nnz_imbalance", run.stats.shard_nnz_imbalance)
       .field("spmv_throughput", spmv_throughput(run.stats, run.wall_seconds))
       .field("peak_rss_bytes", common::peak_rss_bytes())
       .field("wall_seconds", run.wall_seconds);
@@ -338,6 +352,10 @@ inline BenchRecord& add_scenario_record(BenchReport& report,
       .field("ooc_prefetch_hits", result.stats.ooc_prefetch_hits)
       .field("ooc_bytes_streamed", result.stats.ooc_bytes_streamed)
       .field("ooc_spill_bytes", result.stats.ooc_spill_bytes)
+      .field("shards", result.stats.shards)
+      .field("halo_bytes_per_step", result.stats.halo_bytes_per_step)
+      .field("halo_wait_ns", result.stats.halo_wait_ns)
+      .field("shard_nnz_imbalance", result.stats.shard_nnz_imbalance)
       .field("spmv_throughput",
              spmv_throughput(result.stats, result.wall_seconds))
       .field("peak_rss_bytes", common::peak_rss_bytes())
@@ -360,6 +378,8 @@ inline BenchRecord& add_batch_record(BenchReport& report,
       .field("solve_seconds_total", stats.solve_seconds_total)
       .field("iterations", stats.iterations_total)
       .field("iterations_saved", stats.iterations_saved_total)
+      .field("plans_built", stats.plans_built)
+      .field("plans_reused", stats.plans_reused)
       .field("peak_rss_bytes", common::peak_rss_bytes());
 }
 

@@ -8,17 +8,19 @@
 //
 // Build & run:
 //   ./examples/quickstart [--engine uniformization|adaptive|dense|parallel|
-//                                    krylov|ooc]
+//                                    krylov|ooc|sharded]
 //                         [--threads N]
 //                         [--kernels auto|scalar|avx2|avx512|mixed]
 //                         [--reorder none|level|rcm]
 //                         [--tile-mb N] [--spill-dir PATH]   (ooc engine)
+//                         [--shards N]                    (sharded engine)
 //
 // The engine flag swaps the transient solver behind the approximation; all
 // engines agree within solver tolerance (see tests/test_engine_backends).
 // "parallel" shards the uniformisation kernel over N threads (0/absent
 // auto-detects the hardware) and reproduces "uniformization" bitwise per
-// thread count.
+// thread count.  "sharded" forks N worker processes that exchange halo
+// rows over shared memory, bitwise identical to "parallel" again.
 #include <iostream>
 
 #include "kibamrm/common/cli.hpp"
@@ -35,7 +37,8 @@ int main(int argc, char** argv) {
   common::CliArgs args(argc, argv);
   args.declare("engine").declare("delta").declare("threads")
       .declare("no-fuse").declare("no-detect").declare("kernels")
-      .declare("reorder").declare("tile-mb").declare("spill-dir");
+      .declare("reorder").declare("tile-mb").declare("spill-dir")
+      .declare("shards");
   args.validate();
   const std::string kernels = args.get_choice(
       "kernels", "auto", {"auto", "scalar", "avx2", "avx512", "mixed"});
@@ -81,7 +84,7 @@ int main(int argc, char** argv) {
               .tile_bytes = static_cast<std::size_t>(
                                 args.get_positive_int("tile-mb", 8))
                             << 20,
-              .spill_dir = args.get("spill-dir", ""),
+              .spill_dir = args.get_directory("spill-dir", ""),
               // --kernels pins the runtime-dispatched vector tier (the
               // double tiers are bitwise identical; scalar is the
               // sanitizer-CI escape hatch) and --reorder renumbers the
@@ -89,7 +92,12 @@ int main(int argc, char** argv) {
               // gather tiers want; results are inverse-permuted, so the
               // curve is the same either way).
               .kernel_dispatch = kernels,
-              .reorder = reorder});
+              .reorder = reorder,
+              // --shards forks that many worker processes under the
+              // "sharded" engine (each running --threads lanes); other
+              // engines ignore it.
+              .shards = static_cast<std::size_t>(
+                  args.get_positive_int("shards", 1))});
   const core::LifetimeCurve curve = solver.solve(times);
 
   // Monte-Carlo cross-check (1000 runs).

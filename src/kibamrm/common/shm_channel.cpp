@@ -1,0 +1,334 @@
+#include "kibamrm/common/shm_channel.hpp"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <chrono>
+#include <climits>
+#include <cstring>
+#include <ctime>
+#include <new>
+#include <sstream>
+#include <string>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/common/spill_io.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace kibamrm::common {
+
+namespace {
+
+/// One wait slice between liveness polls: long enough that a healthy
+/// solve never leaves the futex, short enough that a dead peer surfaces
+/// promptly.
+constexpr std::uint64_t kWaitSliceNs = 50ull * 1000000ull;
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Parks on `word` while it still holds `expected`, for at most one
+/// slice.  FUTEX_WAIT (the cross-process form, not _PRIVATE) on Linux; a
+/// short nanosleep keeps the protocol correct-but-polling elsewhere.
+void futex_wait_slice(std::atomic<std::uint32_t>& word,
+                      std::uint32_t expected) {
+#if defined(__linux__)
+  timespec ts{static_cast<time_t>(kWaitSliceNs / 1000000000ull),
+              static_cast<long>(kWaitSliceNs % 1000000000ull)};
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word), FUTEX_WAIT,
+          expected, &ts, nullptr, 0);
+#else
+  (void)expected;
+  (void)word;
+  timespec ts{0, 1000000};
+  nanosleep(&ts, nullptr);
+#endif
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>& word) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word), FUTEX_WAKE,
+          INT_MAX, nullptr, nullptr, 0);
+#else
+  (void)word;
+#endif
+}
+
+[[noreturn]] void throw_wait_failure(const char* what, bool peer_dead) {
+  std::ostringstream message;
+  if (peer_dead) {
+    message << "shm channel: peer process died while " << what;
+  } else {
+    message << "shm channel: timed out while " << what;
+  }
+  throw IpcError(message.str());
+}
+
+}  // namespace
+
+/// Shared-mapping layout: counters on their own cache lines, payload ring
+/// directly after.  head/tail are monotonic byte counters (never wrapped
+/// themselves; positions are taken modulo the capacity), so fullness is
+/// simply head - tail.  The producer publishes with a release store of
+/// head after writing the bytes; the consumer acquires head before
+/// reading them -- that pair is the only data-ordering the ring needs.
+/// data_seq/space_seq are futex doorbell words bumped after each
+/// publish/consume.
+struct ShmChannel::Ring {
+  alignas(64) std::atomic<std::uint64_t> head;
+  alignas(64) std::atomic<std::uint64_t> tail;
+  alignas(64) std::atomic<std::uint32_t> data_seq;
+  alignas(64) std::atomic<std::uint32_t> space_seq;
+  alignas(64) std::atomic<std::uint32_t> closed;
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free &&
+                  std::atomic<std::uint32_t>::is_always_lock_free,
+              "the shared ring requires address-free lock-free atomics");
+
+void encode_shm_frame(std::uint32_t type, std::span<const std::byte> payload,
+                      std::vector<std::byte>& out) {
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(payload.size());
+  KIBAMRM_REQUIRE(payload.size() <= kShmMaxFramePayload,
+                  "shm frame payload exceeds the frame size cap");
+  const std::uint64_t checksum = fnv1a64(
+      payload.data(), payload.size(), fnv1a64(&type, sizeof(type)));
+  const std::size_t base = out.size();
+  out.resize(base + kShmFrameHeaderBytes + payload.size());
+  std::memcpy(out.data() + base, &payload_len, sizeof(payload_len));
+  std::memcpy(out.data() + base + 4, &type, sizeof(type));
+  std::memcpy(out.data() + base + 8, &checksum, sizeof(checksum));
+  if (!payload.empty()) {
+    std::memcpy(out.data() + base + kShmFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
+}
+
+std::size_t decode_shm_frame(std::span<const std::byte> bytes,
+                             ShmFrame& frame) {
+  if (bytes.size() < kShmFrameHeaderBytes) {
+    throw IpcError("shm frame: truncated header (" +
+                   std::to_string(bytes.size()) + " of " +
+                   std::to_string(kShmFrameHeaderBytes) + " bytes)");
+  }
+  std::uint32_t payload_len = 0;
+  std::uint32_t type = 0;
+  std::uint64_t checksum = 0;
+  std::memcpy(&payload_len, bytes.data(), sizeof(payload_len));
+  std::memcpy(&type, bytes.data() + 4, sizeof(type));
+  std::memcpy(&checksum, bytes.data() + 8, sizeof(checksum));
+  if (payload_len > kShmMaxFramePayload) {
+    throw IpcError("shm frame: payload length " +
+                   std::to_string(payload_len) +
+                   " exceeds the frame size cap");
+  }
+  if (bytes.size() - kShmFrameHeaderBytes < payload_len) {
+    throw IpcError("shm frame: truncated payload (" +
+                   std::to_string(bytes.size() - kShmFrameHeaderBytes) +
+                   " of " + std::to_string(payload_len) + " bytes)");
+  }
+  const std::byte* payload = bytes.data() + kShmFrameHeaderBytes;
+  const std::uint64_t expected =
+      fnv1a64(payload, payload_len, fnv1a64(&type, sizeof(type)));
+  if (expected != checksum) {
+    throw IpcError("shm frame: checksum mismatch on a type-" +
+                   std::to_string(type) + " frame of " +
+                   std::to_string(payload_len) + " bytes");
+  }
+  frame.type = type;
+  frame.payload.assign(payload, payload + payload_len);
+  return kShmFrameHeaderBytes + payload_len;
+}
+
+ShmChannel ShmChannel::create(std::size_t capacity) {
+  KIBAMRM_REQUIRE(capacity >= kShmFrameHeaderBytes,
+                  "shm channel capacity below one frame header");
+  const std::size_t page = 4096;
+  const std::size_t wanted = sizeof(Ring) + capacity;
+  const std::size_t mapping_bytes = (wanted + page - 1) / page * page;
+  void* mapping = ::mmap(nullptr, mapping_bytes, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mapping == MAP_FAILED) {
+    throw IpcError("shm channel: mmap of " +
+                   std::to_string(mapping_bytes) + " bytes failed");
+  }
+  ShmChannel channel;
+  channel.ring_ = new (mapping) Ring{};
+  channel.buffer_ = static_cast<std::byte*>(mapping) + sizeof(Ring);
+  channel.buffer_bytes_ = mapping_bytes - sizeof(Ring);
+  channel.mapping_bytes_ = mapping_bytes;
+  return channel;
+}
+
+ShmChannel::~ShmChannel() { unmap(); }
+
+ShmChannel::ShmChannel(ShmChannel&& other) noexcept
+    : ring_(other.ring_),
+      buffer_(other.buffer_),
+      buffer_bytes_(other.buffer_bytes_),
+      mapping_bytes_(other.mapping_bytes_),
+      scratch_(std::move(other.scratch_)) {
+  other.ring_ = nullptr;
+  other.buffer_ = nullptr;
+  other.buffer_bytes_ = 0;
+  other.mapping_bytes_ = 0;
+}
+
+ShmChannel& ShmChannel::operator=(ShmChannel&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    ring_ = other.ring_;
+    buffer_ = other.buffer_;
+    buffer_bytes_ = other.buffer_bytes_;
+    mapping_bytes_ = other.mapping_bytes_;
+    scratch_ = std::move(other.scratch_);
+    other.ring_ = nullptr;
+    other.buffer_ = nullptr;
+    other.buffer_bytes_ = 0;
+    other.mapping_bytes_ = 0;
+  }
+  return *this;
+}
+
+void ShmChannel::unmap() noexcept {
+  if (ring_ != nullptr) {
+    ::munmap(ring_, mapping_bytes_);
+    ring_ = nullptr;
+    buffer_ = nullptr;
+    buffer_bytes_ = 0;
+    mapping_bytes_ = 0;
+  }
+}
+
+void ShmChannel::close() {
+  if (ring_ == nullptr) return;
+  ring_->closed.store(1, std::memory_order_release);
+  ring_->data_seq.fetch_add(1, std::memory_order_release);
+  ring_->space_seq.fetch_add(1, std::memory_order_release);
+  futex_wake_all(ring_->data_seq);
+  futex_wake_all(ring_->space_seq);
+}
+
+void ShmChannel::send(std::uint32_t type, const void* payload,
+                      std::size_t bytes, const AlivePoll& peer_alive,
+                      std::uint64_t timeout_ns) {
+  KIBAMRM_REQUIRE(valid(), "shm channel: send on an unmapped channel");
+  scratch_.clear();
+  encode_shm_frame(
+      type,
+      std::span<const std::byte>(static_cast<const std::byte*>(payload),
+                                 bytes),
+      scratch_);
+  const std::size_t frame_bytes = scratch_.size();
+  if (frame_bytes > buffer_bytes_) {
+    throw IpcError("shm channel: frame of " + std::to_string(frame_bytes) +
+                   " bytes exceeds the ring capacity of " +
+                   std::to_string(buffer_bytes_));
+  }
+  const std::uint64_t deadline = monotonic_ns() + timeout_ns;
+  const std::uint64_t head = ring_->head.load(std::memory_order_relaxed);
+  for (;;) {
+    // Doorbell-before-condition: if the consumer frees space between the
+    // seq load and the futex call, the wait returns immediately.
+    const std::uint32_t seen =
+        ring_->space_seq.load(std::memory_order_acquire);
+    const std::uint64_t tail = ring_->tail.load(std::memory_order_acquire);
+    if (buffer_bytes_ - (head - tail) >= frame_bytes) break;
+    if (ring_->closed.load(std::memory_order_acquire) != 0) {
+      throw IpcError("shm channel: peer closed the channel mid-send");
+    }
+    if (peer_alive && !peer_alive()) {
+      throw_wait_failure("waiting for ring space", /*peer_dead=*/true);
+    }
+    if (monotonic_ns() >= deadline) {
+      throw_wait_failure("waiting for ring space", /*peer_dead=*/false);
+    }
+    futex_wait_slice(ring_->space_seq, seen);
+  }
+  const std::size_t position =
+      static_cast<std::size_t>(head % buffer_bytes_);
+  const std::size_t first =
+      std::min(frame_bytes, buffer_bytes_ - position);
+  std::memcpy(buffer_ + position, scratch_.data(), first);
+  if (first < frame_bytes) {
+    std::memcpy(buffer_, scratch_.data() + first, frame_bytes - first);
+  }
+  ring_->head.store(head + frame_bytes, std::memory_order_release);
+  ring_->data_seq.fetch_add(1, std::memory_order_release);
+  futex_wake_all(ring_->data_seq);
+}
+
+void ShmChannel::recv(ShmFrame& frame, const AlivePoll& peer_alive,
+                      std::uint64_t timeout_ns) {
+  KIBAMRM_REQUIRE(valid(), "shm channel: recv on an unmapped channel");
+  const std::uint64_t deadline = monotonic_ns() + timeout_ns;
+  const std::uint64_t tail = ring_->tail.load(std::memory_order_relaxed);
+
+  const auto wait_for_bytes = [&](std::size_t wanted) {
+    for (;;) {
+      const std::uint32_t seen =
+          ring_->data_seq.load(std::memory_order_acquire);
+      const std::uint64_t head =
+          ring_->head.load(std::memory_order_acquire);
+      if (head - tail >= wanted) return;
+      if (ring_->closed.load(std::memory_order_acquire) != 0 &&
+          ring_->head.load(std::memory_order_acquire) - tail < wanted) {
+        throw IpcError(
+            "shm channel: peer closed the channel with no frame pending");
+      }
+      if (peer_alive && !peer_alive()) {
+        throw_wait_failure("waiting for a frame", /*peer_dead=*/true);
+      }
+      if (monotonic_ns() >= deadline) {
+        throw_wait_failure("waiting for a frame", /*peer_dead=*/false);
+      }
+      futex_wait_slice(ring_->data_seq, seen);
+    }
+  };
+
+  const auto copy_out = [&](std::byte* dst, std::size_t count) {
+    const std::size_t position =
+        static_cast<std::size_t>(tail % buffer_bytes_);
+    const std::size_t first = std::min(count, buffer_bytes_ - position);
+    std::memcpy(dst, buffer_ + position, first);
+    if (first < count) {
+      std::memcpy(dst + first, buffer_, count - first);
+    }
+  };
+
+  wait_for_bytes(kShmFrameHeaderBytes);
+  std::byte header[kShmFrameHeaderBytes];
+  copy_out(header, kShmFrameHeaderBytes);
+  std::uint32_t payload_len = 0;
+  std::memcpy(&payload_len, header, sizeof(payload_len));
+  if (payload_len > kShmMaxFramePayload ||
+      kShmFrameHeaderBytes + static_cast<std::size_t>(payload_len) >
+          buffer_bytes_) {
+    throw IpcError("shm channel: corrupt frame length " +
+                   std::to_string(payload_len) + " on a ring of " +
+                   std::to_string(buffer_bytes_) + " bytes");
+  }
+  const std::size_t total =
+      kShmFrameHeaderBytes + static_cast<std::size_t>(payload_len);
+  wait_for_bytes(total);
+  scratch_.resize(total);
+  copy_out(scratch_.data(), total);
+  // Funnel through the shared validation path (checksum included); only
+  // a fully-validated frame advances the consumer cursor.
+  decode_shm_frame(scratch_, frame);
+  ring_->tail.store(tail + total, std::memory_order_release);
+  ring_->space_seq.fetch_add(1, std::memory_order_release);
+  futex_wake_all(ring_->space_seq);
+}
+
+}  // namespace kibamrm::common

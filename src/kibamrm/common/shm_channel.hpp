@@ -1,0 +1,144 @@
+// Shared-memory SPSC channels for the sharded (multi-process) backend.
+//
+// The sharded engine forks one worker process per shard; coordinator and
+// workers exchange halo rows, steady-state deltas and result slices tens
+// of thousands of times per solve, so the transport must cost a memcpy
+// plus (rarely) a futex, never a syscall per frame.  ShmChannel provides
+// exactly that:
+//
+//   * One anonymous MAP_SHARED mapping per channel, created *before*
+//     fork() and inherited by the worker.  Nothing is ever created under
+//     /dev/shm, so a SIGKILLed worker cannot leak a named segment -- the
+//     kernel reclaims the pages when the last process unmaps (leak-proof
+//     by construction; see the reaping test in test_engine_sharded.cpp).
+//
+//   * A single-producer single-consumer byte ring with release/acquire
+//     head/tail counters.  Producer and consumer park on futex doorbell
+//     words (FUTEX_WAIT on the shared mapping; a nanosleep poll is the
+//     portable fallback off Linux), so an idle side burns no CPU.
+//
+//   * Length-prefixed frames [u32 payload_len][u32 type][u64 fnv1a64]
+//     [payload].  decode_shm_frame is the single validation path -- recv
+//     funnels every frame through it, and the fuzz_shm_channel target
+//     feeds it byte soup directly: a damaged frame must surface as
+//     IpcError, never as UB downstream.
+//
+//   * Peer-death and timeout detection: recv waits in short slices,
+//     polling a caller-supplied liveness callback (the coordinator passes
+//     waitpid(WNOHANG) on the worker's pid) between slices.  A dead peer
+//     or an exhausted deadline throws IpcError, which ScenarioBatch maps
+//     to a per-scenario failure -- a crashed worker fails the scenario,
+//     not the batch.
+//
+// Thread model: each end of a channel is owned by exactly one process
+// (and one thread within it); the ring's cross-process synchronisation
+// is the head/tail release/acquire protocol below.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "kibamrm/common/thread_annotations.hpp"
+
+namespace kibamrm::common {
+
+/// Frame header layout (little-endian, as memcpy'd on the wire).
+inline constexpr std::size_t kShmFrameHeaderBytes = 16;
+
+/// Hard cap on a single frame's payload; a length field beyond it is
+/// corruption by definition (the largest legitimate frame is one result
+/// slice, bounded by the channel capacity anyway).
+inline constexpr std::uint32_t kShmMaxFramePayload = 1u << 30;
+
+/// One decoded frame: a small type tag plus the payload bytes.
+struct ShmFrame {
+  std::uint32_t type = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Serialises one frame (header + payload) into `out`, appending; the
+/// checksum covers type and payload.
+void encode_shm_frame(std::uint32_t type, std::span<const std::byte> payload,
+                      std::vector<std::byte>& out);
+
+/// Validates and decodes exactly one frame from the front of `bytes`:
+/// header present, payload length within kShmMaxFramePayload and within
+/// `bytes`, checksum matching.  Returns the bytes consumed and fills
+/// `frame` (payload storage is reused across calls).  Throws IpcError on
+/// any violation -- this is the single untrusted-input path recv() and
+/// the fuzz_shm_channel target share.
+std::size_t decode_shm_frame(std::span<const std::byte> bytes,
+                             ShmFrame& frame);
+
+/// Single-producer single-consumer byte ring in an anonymous shared
+/// mapping.  create() must run before fork(); afterwards exactly one
+/// process sends and exactly one receives (which is which may differ per
+/// channel).  Closing and destruction are per-process: the mapping's
+/// pages live until the last process unmaps them.
+///
+/// KIBAMRM_EXTERNALLY_SYNCHRONIZED: each end is single-threaded by the
+/// sharded protocol (coordinator thread / worker main); the shared ring
+/// itself synchronises the two processes via release/acquire head/tail.
+class KIBAMRM_EXTERNALLY_SYNCHRONIZED(
+    "one process per end; ring head/tail release/acquire orders the data")
+    ShmChannel {
+ public:
+  /// Polled between wait slices; return false to abort the wait with
+  /// IpcError ("peer died").  The coordinator passes waitpid(WNOHANG).
+  using AlivePoll = std::function<bool()>;
+
+  /// Default transfer deadline: generous enough for a TSan-slowed CI
+  /// worker mid-solve, short enough that a wedged peer fails the
+  /// scenario rather than the whole run.
+  static constexpr std::uint64_t kDefaultTimeoutNs = 300ull * 1000000000ull;
+
+  ShmChannel() = default;
+  ~ShmChannel();
+
+  ShmChannel(ShmChannel&& other) noexcept;
+  ShmChannel& operator=(ShmChannel&& other) noexcept;
+  ShmChannel(const ShmChannel&) = delete;
+  ShmChannel& operator=(const ShmChannel&) = delete;
+
+  /// Channel whose ring buffers at least `capacity` payload bytes (the
+  /// largest frame, header included, must fit; send() enforces it).
+  static ShmChannel create(std::size_t capacity);
+
+  bool valid() const { return ring_ != nullptr; }
+  std::size_t capacity() const { return buffer_bytes_; }
+
+  /// Enqueues one frame, blocking while the ring lacks space.  Throws
+  /// IpcError when the frame exceeds the ring, the peer closed/died, or
+  /// the deadline passes.
+  void send(std::uint32_t type, const void* payload, std::size_t bytes,
+            const AlivePoll& peer_alive = nullptr,
+            std::uint64_t timeout_ns = kDefaultTimeoutNs);
+
+  /// Dequeues one frame into `frame` (storage reused), blocking while the
+  /// ring is empty.  Throws IpcError on a malformed frame, a closed-and-
+  /// drained channel, a dead peer, or an exhausted deadline.
+  void recv(ShmFrame& frame, const AlivePoll& peer_alive = nullptr,
+            std::uint64_t timeout_ns = kDefaultTimeoutNs);
+
+  /// Marks this channel closed (both directions), waking any waiter in
+  /// either process.  recv() on a closed, drained channel throws
+  /// IpcError; idempotent.
+  void close();
+
+ private:
+  struct Ring;  // shared-mapping layout, defined in the .cpp
+
+  void unmap() noexcept;
+
+  Ring* ring_ = nullptr;           // start of the shared mapping
+  std::byte* buffer_ = nullptr;    // payload ring, directly after Ring
+  std::size_t buffer_bytes_ = 0;   // ring capacity in bytes
+  std::size_t mapping_bytes_ = 0;  // total mapping length (for munmap)
+  std::vector<std::byte> scratch_;  // per-process frame assembly buffer
+};
+
+}  // namespace kibamrm::common

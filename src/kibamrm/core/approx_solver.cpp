@@ -24,7 +24,8 @@ MarkovianApproximation::MarkovianApproximation(const KibamRmModel& model,
            .steady_state_detection = options_.steady_state_detection,
            .tile_bytes = options_.tile_bytes,
            .spill_dir = options_.spill_dir,
-           .kernel_dispatch = options_.kernel_dispatch})) {
+           .kernel_dispatch = options_.kernel_dispatch,
+           .shards = options_.shards})) {
   stats_.expanded_states = expanded_.grid.state_count();
   stats_.generator_nonzeros = expanded_.chain.generator().nonzeros();
   stats_.engine = options_.engine;
@@ -56,6 +57,10 @@ void absorb_backend_stats(ApproximationStats& stats,
   stats.longest_uniform_run = backend.longest_uniform_run;
   stats.diagonal_rows = backend.diagonal_rows;
   stats.longest_diagonal_run = backend.longest_diagonal_run;
+  stats.shards = backend.shards;
+  stats.halo_bytes_per_step = backend.halo_bytes_per_step;
+  stats.halo_wait_ns = backend.halo_wait_ns;
+  stats.shard_nnz_imbalance = backend.shard_nnz_imbalance;
   stats.ooc_tiles = backend.ooc_tiles;
   stats.ooc_tile_reads = backend.ooc_tile_reads;
   stats.ooc_prefetch_hits = backend.ooc_prefetch_hits;

@@ -58,6 +58,10 @@ struct ApproximationOptions {
   /// -- and the ExpandedChain carries the permutation for anything that
   /// reads raw distributions.
   std::string reorder = "none";
+  /// Worker processes of the "sharded" engine (level-banded multi-process
+  /// uniformisation); forwarded to engine::BackendOptions::shards.
+  /// Ignored by the other engines.
+  std::size_t shards = 1;
 };
 
 /// Cost/shape diagnostics of one approximation run.
@@ -106,6 +110,15 @@ struct ApproximationStats {
   /// and the longest such run; see linalg::StructureStats.
   std::uint64_t diagonal_rows = 0;
   std::uint64_t longest_diagonal_run = 0;
+  /// "sharded" engine: worker processes of the solve, halo bytes crossing
+  /// the process boundary per product (static plan property), summed
+  /// nanoseconds workers spent blocked on halo receives, and the
+  /// max/mean stored-entry imbalance of the level bands; 0 for
+  /// single-process engines.
+  std::uint64_t shards = 0;
+  std::uint64_t halo_bytes_per_step = 0;
+  std::uint64_t halo_wait_ns = 0;
+  double shard_nnz_imbalance = 0.0;
   /// "ooc" engine: tiles in the spill store, tile reads over the solve,
   /// reads satisfied by the prefetch double-buffer, slab bytes streamed
   /// from disk and the spill file size; 0 for in-memory engines.

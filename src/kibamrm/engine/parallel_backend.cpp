@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 
+#include "kibamrm/engine/plan_cache.hpp"
 #include "kibamrm/linalg/fused_gather.hpp"
 #include "kibamrm/linalg/kernels.hpp"
 #include "kibamrm/linalg/permutation.hpp"
@@ -33,40 +35,51 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
   KIBAMRM_REQUIRE(rate * (1.0 + 1e-12) >= chain.max_exit_rate(),
                   "uniformization rate below maximal exit rate");
   const bool fused = options_.fused_kernels;
-  linalg::CsrMatrix p = chain.generator().uniformized(rate);
   // The fused path mirrors markov::TransientSolver: restrict the loop to
   // the reachable closure of the initial support (expanded battery chains
   // reach only ~half their states from the full-charge start) and run the
   // compressed gather plan over the compacted transpose of P; the closure
   // and the compaction are independent of the thread count, so the
-  // bitwise-determinism guarantee is untouched.  The baseline path keeps
-  // the full transpose.  Each output entry of the gather is private to
-  // exactly one shard either way.
-  std::vector<std::uint32_t> reachable;
+  // bitwise-determinism guarantee is untouched.  That immutable setup
+  // block lives in engine/plan_cache.hpp: with a batch-shared cache in
+  // options_.plan_cache a sweep of identical Q*-structures builds it
+  // once (the cached copy is byte-identical to a private build, so
+  // curves cannot change).  The baseline path keeps the full transpose,
+  // uncached.  Each output entry of the gather is private to exactly one
+  // shard either way.
+  std::shared_ptr<const CachedGatherPlan> cached;
+  linalg::CsrMatrix pt(1, 1);
   if (fused) {
     std::vector<std::uint32_t> seeds;
     for (std::size_t i = 0; i < initial.size(); ++i) {
       if (initial[i] != 0.0) seeds.push_back(static_cast<std::uint32_t>(i));
     }
-    reachable = p.reachable_rows(seeds);
+    cached = options_.plan_cache
+                 ? options_.plan_cache->obtain(chain.generator(), rate, seeds)
+                 : build_cached_gather_plan(chain.generator(), rate, seeds);
+  } else {
+    pt = chain.generator().uniformized(rate).transposed();
   }
-  linalg::CsrMatrix pt =
-      fused ? p.transposed_submatrix(reachable) : p.transposed();
-  p = linalg::CsrMatrix(1, 1);  // only needed for setup; free before the loop
   const linalg::StructureStats structure =
-      fused ? linalg::structure_stats(pt) : linalg::StructureStats{};
+      fused ? cached->structure : linalg::StructureStats{};
   // Compressed kernel plan (dictionary values + int16 offsets): bitwise
   // identical arithmetic to the CSR gather at roughly a third of the
-  // memory traffic; chains that do not compress fall back to CSR.
-  const std::optional<linalg::FusedGatherPlan> plan =
-      fused ? linalg::FusedGatherPlan::build(pt) : std::nullopt;
-  const std::size_t loop_rows = pt.rows();
-  const std::size_t loop_nonzeros = pt.nonzeros();
+  // memory traffic; chains that do not compress fall back to the CSR
+  // transpose the cache retains.
+  const std::optional<linalg::FusedGatherPlan> no_plan;
+  const std::optional<linalg::FusedGatherPlan>& plan =
+      fused ? cached->plan : no_plan;
+  const std::size_t loop_rows = fused ? cached->rows() : pt.rows();
+  const std::size_t loop_nonzeros = fused ? cached->nonzeros : pt.nonzeros();
   // Shared shard policy (see plan_gather_shards): oversubscribed
   // nnz-balanced ranges over the pool, or inline below the pool-wake
   // threshold -- the gather arithmetic is identical either way, results
-  // stay bitwise equal.
-  GatherShardPlan shards = plan_gather_shards(pt, pool_->thread_count());
+  // stay bitwise equal.  The fused path splits off the cached per-row
+  // entry counts (same fair-share walk as the CSR overload).
+  GatherShardPlan shards =
+      fused ? plan_gather_shards(cached->row_entry_counts, cached->nonzeros,
+                                 0, loop_rows, pool_->thread_count())
+            : plan_gather_shards(pt, pool_->thread_count());
   const bool use_pool = shards.use_pool;
   // Snap shard boundaries onto uniform-segment edges (ROADMAP 3c): a
   // boundary inside a segment costs partial SIMD groups at both shard
@@ -77,9 +90,6 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
   }
   const std::vector<std::size_t>& ranges = shards.ranges;
   const std::size_t shard_count = shards.shard_count();
-  if (plan) {
-    pt = linalg::CsrMatrix(1, 1);  // the packed layout replaces the CSR copy
-  }
 
   // Mixed tier (see markov::TransientSolver): float32 power iteration with
   // double accumulation, only where the row-offset gather plan provides the
@@ -97,7 +107,7 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
 
   const bool detect = options_.steady_state_detection && fused;
   const double threshold = options_.epsilon / 2.0;
-  stats_.active_states = fused ? reachable.size() : initial.size();
+  stats_.active_states = fused ? cached->reachable.size() : initial.size();
   stats_.active_nonzeros = loop_nonzeros;
   stats_.matrix_bandwidth = structure.bandwidth;
   stats_.groupable_rows = structure.groupable_rows;
@@ -110,6 +120,7 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
 
   std::vector<double> current;  // pi(t_k), in loop space
   if (fused) {
+    const std::vector<std::uint32_t>& reachable = cached->reachable;
     current.resize(reachable.size());
     for (std::size_t i = 0; i < reachable.size(); ++i) {
       current[i] = initial[reachable[i]];
@@ -128,6 +139,7 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
   const auto emit_view =
       [&](const std::vector<double>& point) -> const std::vector<double>& {
     if (!fused) return point;
+    const std::vector<std::uint32_t>& reachable = cached->reachable;
     for (std::size_t i = 0; i < reachable.size(); ++i) {
       full_point_[reachable[i]] = point[i];
     }
@@ -169,8 +181,8 @@ std::vector<std::vector<double>> ParallelUniformizationBackend::solve(
             }
             return plan ? plan->multiply_fused_range(power_, next_, accum_,
                                                      weight, begin, end)
-                        : pt.multiply_fused_range(power_, next_, accum_,
-                                                  weight, begin, end);
+                        : cached->transpose.multiply_fused_range(
+                              power_, next_, accum_, weight, begin, end);
           };
           if (use_pool) {
             pool_->parallel_for(

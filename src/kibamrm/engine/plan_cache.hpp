@@ -1,0 +1,99 @@
+// Cross-scenario cache of solve-plan setup for the fused uniformisation
+// engines.
+//
+// A ScenarioBatch sweep (Fig. 8: one curve per Delta; Table 1: one per
+// workload) repeatedly expands chains with *identical* Q*-structure --
+// same sparsity, same rates, same initial support -- differing only in
+// the time grid.  Each solve used to rebuild the reachable closure, the
+// compacted transpose and the FusedGatherPlan from scratch; this cache
+// keys that immutable setup on a content hash of (generator structure +
+// values, uniformisation rate, initial support) and shares one
+// CachedGatherPlan across every lane and solve that matches -- the first
+// stepping stone toward ROADMAP item 1's cross-request plan cache.
+//
+// Sharing is safe because everything cached is immutable after build:
+// the consuming backends only read the plan (FusedGatherPlan kernels are
+// const), and shared_ptr keeps an entry alive across concurrent lanes.
+// Bitwise determinism is untouched -- a cached plan is byte-identical to
+// the one the solve would have rebuilt, so curves cannot change.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "kibamrm/common/thread_annotations.hpp"
+#include "kibamrm/linalg/csr_matrix.hpp"
+#include "kibamrm/linalg/fused_gather.hpp"
+#include "kibamrm/linalg/permutation.hpp"
+
+namespace kibamrm::engine {
+
+/// The immutable per-chain setup of a fused uniformisation solve.  Built
+/// once (build_cached_gather_plan), then only read.
+struct CachedGatherPlan {
+  /// Sorted reachable closure of the initial support (full-chain state
+  /// ids); the loop dimension is reachable.size().
+  std::vector<std::uint32_t> reachable;
+  /// Per-row stored-entry counts of the compacted transpose, plus each
+  /// row's first/last stored column -- enough to shard and partition
+  /// without keeping the CSR arrays alive (linalg::ShardPlan and the
+  /// gather shard split both run off these).
+  std::vector<std::uint32_t> row_entry_counts;
+  std::vector<std::uint32_t> row_col_lo;
+  std::vector<std::uint32_t> row_col_hi;
+  std::uint64_t nonzeros = 0;
+  linalg::StructureStats structure;
+  /// Compressed kernel plan; nullopt when the chain fits neither layout.
+  std::optional<linalg::FusedGatherPlan> plan;
+  /// CSR fallback, retained only when `plan` could not build (the
+  /// compressed layout otherwise replaces it).
+  linalg::CsrMatrix transpose{1, 1};
+
+  std::size_t rows() const { return row_entry_counts.size(); }
+};
+
+/// Uniformises `generator` at `rate`, compacts to the reachable closure
+/// of `seeds` and builds the gather plan -- the setup block shared by the
+/// parallel and sharded backends, cache or no cache.
+std::shared_ptr<const CachedGatherPlan> build_cached_gather_plan(
+    const linalg::CsrMatrix& generator, double rate,
+    std::span<const std::uint32_t> seeds);
+
+/// Content hash the cache keys on: generator structure arrays and values
+/// (exact bytes), the uniformisation rate bits and the seed set.  Chains
+/// whose hashes collide would share a plan wrongly; at 64 bits over
+/// full-content hashing that is vanishingly unlikely, and lookup()
+/// additionally rejects entries whose cheap invariants (state count,
+/// closure seed count) disagree.
+std::uint64_t gather_plan_key(const linalg::CsrMatrix& generator, double rate,
+                              std::span<const std::uint32_t> seeds);
+
+/// Thread-safe keyed store of CachedGatherPlans, shared by every lane of
+/// a ScenarioBatch through BackendOptions::plan_cache.
+class GatherPlanCache {
+ public:
+  /// Returns the cached plan for `key`, or builds + inserts one from the
+  /// given chain data.  Concurrent lanes may race to build the same key;
+  /// the first insert wins and later builders adopt it (the builds are
+  /// deterministic, so either copy is byte-identical).
+  std::shared_ptr<const CachedGatherPlan> obtain(
+      const linalg::CsrMatrix& generator, double rate,
+      std::span<const std::uint32_t> seeds);
+
+  /// Counters for telemetry and tests.
+  std::uint64_t plans_built() const;
+  std::uint64_t plans_reused() const;
+
+ private:
+  mutable common::Mutex mutex_;
+  std::map<std::uint64_t, std::shared_ptr<const CachedGatherPlan>> entries_
+      KIBAMRM_GUARDED_BY(mutex_);
+  std::uint64_t built_ KIBAMRM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t reused_ KIBAMRM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace kibamrm::engine

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "kibamrm/core/expanded_ctmc.hpp"
+#include "kibamrm/engine/plan_cache.hpp"
 #include "kibamrm/engine/transient_backend.hpp"
 
 namespace kibamrm::engine {
@@ -30,6 +31,12 @@ ScenarioBatch::ScenarioBatch(ScenarioBatchOptions options)
 
 std::vector<ScenarioResult> ScenarioBatch::solve_all(
     const std::vector<Scenario>& scenarios) {
+  // One plan cache per batch: sweeps solve many scenarios of identical
+  // Q*-structure (same sparsity, rates and initial support, different
+  // time grids), so the closure + transpose + gather-plan setup is built
+  // once and shared across all lanes (GatherPlanCache is thread-safe).
+  const std::shared_ptr<GatherPlanCache> plan_cache =
+      std::make_shared<GatherPlanCache>();
   const BackendOptions backend_options{
       .epsilon = options_.epsilon,
       .dense_state_limit = options_.dense_state_limit,
@@ -41,7 +48,9 @@ std::vector<ScenarioResult> ScenarioBatch::solve_all(
       .steady_state_detection = options_.steady_state_detection,
       .tile_bytes = options_.tile_bytes,
       .spill_dir = options_.spill_dir,
-      .kernel_dispatch = options_.kernel_dispatch};
+      .kernel_dispatch = options_.kernel_dispatch,
+      .shards = options_.shards,
+      .plan_cache = plan_cache};
 
   const core::StateOrdering ordering =
       core::parse_state_ordering(options_.reorder);
@@ -83,6 +92,12 @@ std::vector<ScenarioResult> ScenarioBatch::solve_all(
           // other than a solver convergence failure still propagates.
           result.failed = true;
           result.failure_reason = error.what();
+        } catch (const IpcError& error) {
+          // A crashed sharded worker fails its scenario the same way: the
+          // coordinator has already reaped the solve's worker processes,
+          // so the lane and the rest of the batch continue unharmed.
+          result.failed = true;
+          result.failure_reason = error.what();
         }
         result.wall_seconds = std::chrono::duration<double>(
                                   std::chrono::steady_clock::now() - start)
@@ -102,6 +117,8 @@ std::vector<ScenarioResult> ScenarioBatch::solve_all(
     stats_.iterations_total += result.stats.uniformization_iterations;
     stats_.iterations_saved_total += result.stats.iterations_saved;
   }
+  stats_.plans_built = plan_cache->plans_built();
+  stats_.plans_reused = plan_cache->plans_reused();
   return results;
 }
 

@@ -76,6 +76,11 @@ struct BatchStats {
   /// Poisson terms skipped by steady-state early termination, summed over
   /// the batch.
   std::uint64_t iterations_saved_total = 0;
+  /// Gather-plan cache traffic (engine/plan_cache.hpp): setups built from
+  /// scratch vs served from the batch-shared cache.  A sweep of scenarios
+  /// with identical Q*-structure builds one plan and reuses the rest.
+  std::uint64_t plans_built = 0;
+  std::uint64_t plans_reused = 0;
 };
 
 struct ScenarioBatchOptions {
@@ -108,6 +113,9 @@ struct ScenarioBatchOptions {
   /// State ordering of every expanded chain ("none" / "level" / "rcm");
   /// see core::ApproximationOptions::reorder.
   std::string reorder = "none";
+  /// Worker processes per solve of the "sharded" engine; forwarded to
+  /// every lane's BackendOptions::shards.  Other engines ignore it.
+  std::size_t shards = 1;
 };
 
 class ScenarioBatch {

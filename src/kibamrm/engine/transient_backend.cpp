@@ -10,8 +10,10 @@
 #include "kibamrm/engine/krylov_backend.hpp"
 #include "kibamrm/engine/ooc_backend.hpp"
 #include "kibamrm/engine/parallel_backend.hpp"
+#include "kibamrm/engine/sharded_backend.hpp"
 #include "kibamrm/engine/uniformization_backend.hpp"
 #include "kibamrm/linalg/kernels.hpp"
+#include "kibamrm/linalg/shard_plan.hpp"
 #include "kibamrm/linalg/vector_ops.hpp"
 
 namespace kibamrm::engine {
@@ -44,6 +46,10 @@ std::map<std::string, BackendFactory, std::less<>>& registry() {
        [](const BackendOptions& options) -> std::unique_ptr<TransientBackend> {
          return std::make_unique<OutOfCoreBackend>(options);
        }},
+      {"sharded",
+       [](const BackendOptions& options) -> std::unique_ptr<TransientBackend> {
+         return std::make_unique<ShardedBackend>(options);
+       }},
   };
   return backends;
 }
@@ -58,6 +64,20 @@ GatherShardPlan plan_gather_shards(const linalg::CsrMatrix& matrix,
   plan.ranges = plan.use_pool
                     ? matrix.balanced_row_ranges(4 * lanes)
                     : std::vector<std::size_t>{0, matrix.rows()};
+  return plan;
+}
+
+GatherShardPlan plan_gather_shards(std::span<const std::uint32_t> row_counts,
+                                   std::uint64_t nonzeros,
+                                   std::size_t row_begin, std::size_t row_end,
+                                   std::size_t lanes) {
+  GatherShardPlan plan;
+  plan.use_pool = lanes > 1 && nonzeros + (row_end - row_begin) >= 16384;
+  plan.ranges =
+      plan.use_pool
+          ? linalg::balanced_count_ranges(row_counts, row_begin, row_end,
+                                          4 * lanes)
+          : std::vector<std::size_t>{row_begin, row_end};
   return plan;
 }
 

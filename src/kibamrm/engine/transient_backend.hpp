@@ -35,14 +35,24 @@
 //                     bitwise identical curves to the fused in-memory
 //                     backends at every tile size and thread count, with
 //                     a working set of two tiles plus O(states) vectors
+//   "sharded"         multi-process uniformisation: a coordinator forks
+//                     one worker per shard, each owning a contiguous
+//                     level band of the compacted transpose
+//                     (linalg::ShardPlan); workers run the fused gather
+//                     kernels on their band and exchange only the halo
+//                     rows per DTMC step over shared-memory rings
+//                     (common/shm_channel) -- bitwise identical curves
+//                     to "parallel" at every (shard count, thread
+//                     count), with N shards x T threads composing
 //
-// New backends (sharded, GPU) register through register_backend() without
+// New backends (GPU, MPI) register through register_backend() without
 // another restructure of the call sites.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -52,6 +62,8 @@
 #include "kibamrm/markov/ctmc.hpp"
 
 namespace kibamrm::engine {
+
+class GatherPlanCache;  // engine/plan_cache.hpp
 
 /// How a pool-sharded gather matvec splits its rows; shared by the
 /// parallel and krylov backends so the engagement threshold and the
@@ -73,6 +85,15 @@ struct GatherShardPlan {
 /// shards (the oversubscription lets the atomic claim loop absorb cost
 /// imbalance a static split cannot see).
 GatherShardPlan plan_gather_shards(const linalg::CsrMatrix& matrix,
+                                   std::size_t lanes);
+
+/// Same policy from per-row entry counts alone (what the plan cache
+/// retains after the CSR arrays are dropped); `row_begin`/`row_end`
+/// restrict the split to one shard band for the sharded backend's inner
+/// thread ranges.
+GatherShardPlan plan_gather_shards(std::span<const std::uint32_t> row_counts,
+                                   std::uint64_t nonzeros,
+                                   std::size_t row_begin, std::size_t row_end,
                                    std::size_t lanes);
 
 /// Thrown when a backend cannot solve a given chain *by design* (e.g. the
@@ -163,6 +184,21 @@ struct BackendOptions {
   /// of the fused uniformisation kernels (deterministic, ~1e-6-level
   /// accuracy instead of bitwise).  See linalg/kernels.hpp.
   std::string kernel_dispatch = "auto";
+  /// Sharded backend: worker processes the solve forks, each owning one
+  /// contiguous level band of the compacted transpose.  1 still forks a
+  /// single worker (the full coordinator/worker protocol runs, which is
+  /// what the 1-vs-N shard perf comparison should measure).  With
+  /// `threads` > 1 every worker additionally runs its own pool of that
+  /// many lanes, so shards x threads composes; for this backend
+  /// `threads` == 0 means one lane per worker (auto-detecting inside N
+  /// workers would oversubscribe N-fold).  Other backends ignore it.
+  std::size_t shards = 1;
+  /// Optional cross-scenario cache of reachable closures + gather plans
+  /// (engine/plan_cache.hpp), shared across the lanes of a ScenarioBatch.
+  /// Null solves build their plan privately.  Honoured by the fused
+  /// uniformisation engines ("parallel", "sharded"); results are
+  /// bitwise independent of cache hits.
+  std::shared_ptr<GatherPlanCache> plan_cache = nullptr;
 };
 
 /// Cost counters, populated by every backend after each solve().
@@ -233,6 +269,16 @@ struct BackendStats {
   std::uint64_t ooc_prefetch_hits = 0;
   std::uint64_t ooc_bytes_streamed = 0;
   std::uint64_t ooc_spill_bytes = 0;
+  /// Sharded backend: worker processes forked, static halo exchange
+  /// volume per DTMC step (8 bytes per halo row summed over every
+  /// pairwise span), nanoseconds workers spent blocked on halo receives
+  /// (summed over workers; the scaling-loss signal) and the band
+  /// nnz imbalance max/mean (1.0 = perfectly balanced).  0 for other
+  /// backends.
+  std::uint64_t shards = 0;
+  std::uint64_t halo_bytes_per_step = 0;
+  std::uint64_t halo_wait_ns = 0;
+  double shard_nnz_imbalance = 0.0;
 };
 
 /// Called with (index, time, distribution) as soon as each requested time

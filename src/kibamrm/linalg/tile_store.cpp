@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "kibamrm/common/error.hpp"
+#include "kibamrm/linalg/shard_plan.hpp"
 
 namespace kibamrm::linalg {
 
@@ -258,34 +259,14 @@ TileStore TileStore::build(const CsrMatrix& generator,
     });
   }
 
-  // Tile boundaries: cut once the estimated slab size (header + entry
-  // table + 4 bytes per entry + a dictionary allowance) reaches the
-  // target.  The dictionary holds distinct doubles, so it can never
-  // exceed 8 bytes per entry; the allowance grows with the tile's entry
-  // count up to a 4KB cap (512 distinct values covers the handful of
-  // distinct rates a battery chain produces) -- a flat pre-charge here
-  // would make small tile_bytes degenerate to one row per tile.  The
+  // Tile boundaries: the entry-scaled cut estimator shared with the
+  // sharded backend's band partition (linalg/shard_plan.hpp) cuts once
+  // the estimated slab size -- header + entry table + 4 bytes per entry
+  // + the capped dictionary allowance -- reaches the target.  The
   // estimate assumes the narrow encoding; a tile forced into a wider
   // one simply overshoots the target, it never breaks.
-  std::vector<std::size_t> tile_bounds = {0};
-  {
-    std::uint64_t payload = 0;
-    std::uint64_t tile_entries = 0;
-    for (std::size_t j = 0; j < n; ++j) {
-      payload += 4 + static_cast<std::uint64_t>(counts[j]) * 4;
-      tile_entries += counts[j];
-      const std::uint64_t dict_allowance =
-          8 * std::min<std::uint64_t>(tile_entries, 512);
-      const std::uint64_t estimate =
-          sizeof(SlabHeader) + payload + dict_allowance;
-      if (estimate >= options.tile_bytes && j + 1 < n) {
-        tile_bounds.push_back(j + 1);
-        payload = 0;
-        tile_entries = 0;
-      }
-    }
-    tile_bounds.push_back(n);
-  }
+  const std::vector<std::size_t> tile_bounds =
+      entry_scaled_cut_bounds(counts, options.tile_bytes, sizeof(SlabHeader));
   const std::size_t tile_count = tile_bounds.size() - 1;
 
   common::SpillFile file = common::SpillFile::create(path);

@@ -1,0 +1,104 @@
+// libFuzzer target for the shared-memory frame codec of the sharded
+// backend (common/shm_channel).
+//
+// decode_shm_frame is the single validation path every cross-process
+// frame funnels through: the coordinator and its forked workers trust
+// the decoded type/payload to drive band offsets and kernel inputs, so
+// a frame a crashed or hostile peer left half-written must surface as
+// kibamrm::IpcError -- never as an oversized allocation, an out-of-range
+// read, or an unwrapped std exception.  The target drives three
+// surfaces: raw decode of the input, decode of the remainder after a
+// valid prefix (framing resynchronisation), and an encode round trip of
+// input-derived payloads (the codec's own output must always decode to
+// the same bytes).  Built with -DKIBAMRM_FUZZ=ON (clang) this is a
+// libFuzzer binary; otherwise a standalone driver replaying corpus
+// files under ctest on gcc-only machines.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "kibamrm/common/error.hpp"
+#include "kibamrm/common/shm_channel.hpp"
+
+namespace {
+
+void exercise(const std::uint8_t* data, std::size_t size) {
+  namespace kc = kibamrm::common;
+  const std::span<const std::byte> bytes(
+      reinterpret_cast<const std::byte*>(data), size);
+
+  // 1. Raw decode: arbitrary byte soup either yields one well-formed
+  //    frame (consuming header + payload) or throws IpcError.
+  kc::ShmFrame frame;
+  try {
+    const std::size_t consumed = kc::decode_shm_frame(bytes, frame);
+    // A successful decode must have consumed a sane amount and -- the
+    // framing contract -- the remainder must decode independently.
+    if (consumed < kc::kShmFrameHeaderBytes || consumed > size) {
+      std::fprintf(stderr, "fuzz_shm_channel: bogus consumed %zu of %zu\n",
+                    consumed, size);
+      __builtin_trap();
+    }
+    try {
+      kc::decode_shm_frame(bytes.subspan(consumed), frame);
+    } catch (const kibamrm::Error&) {
+    }
+  } catch (const kibamrm::Error&) {
+    // Rejection is the expected outcome for most inputs.
+  }
+
+  // 2. Encode round trip: the input reinterpreted as (type, payload)
+  //    must encode to a buffer that decodes back to identical bytes.
+  std::uint32_t type = 1;
+  if (size >= sizeof(type)) std::memcpy(&type, data, sizeof(type));
+  const std::span<const std::byte> payload =
+      bytes.subspan(size >= sizeof(type) ? sizeof(type) : 0);
+  std::vector<std::byte> encoded;
+  kc::encode_shm_frame(type, payload, encoded);
+  kc::ShmFrame decoded;
+  const std::size_t consumed = kc::decode_shm_frame(encoded, decoded);
+  if (consumed != encoded.size() || decoded.type != type ||
+      decoded.payload.size() != payload.size() ||
+      (!payload.empty() &&
+       std::memcmp(decoded.payload.data(), payload.data(),
+                   payload.size()) != 0)) {
+    std::fprintf(stderr, "fuzz_shm_channel: round trip mismatch\n");
+    __builtin_trap();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  exercise(data, size);
+  return 0;
+}
+
+#ifdef KIBAMRM_FUZZ_STANDALONE
+#include <fstream>
+#include <iterator>
+#include <string>
+
+// Corpus replay driver: each argument is a file of fuzz input.
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i], std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "fuzz_shm_channel: cannot open %s\n", argv[i]);
+      return 1;
+    }
+    const std::string bytes((std::istreambuf_iterator<char>(file)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    ++replayed;
+  }
+  std::printf("fuzz_shm_channel: replayed %d corpus file(s)\n", replayed);
+  return 0;
+}
+#endif

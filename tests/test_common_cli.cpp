@@ -180,6 +180,32 @@ TEST(CliArgs, GetChoicePresentWithoutValueThrows) {
                InvalidArgument);
 }
 
+TEST(CliArgs, GetDirectoryAcceptsExistingDirectory) {
+  const CliArgs args = parse({"p", "--spill-dir", "/tmp"});
+  EXPECT_EQ(args.get_directory("spill-dir", ""), "/tmp");
+}
+
+TEST(CliArgs, GetDirectoryFallbackExemptFromExistence) {
+  // The "" fallback means "use $TMPDIR" downstream; it must pass through
+  // unvalidated, like get_positive_int's sentinel fallbacks.
+  const CliArgs args = parse({"p"});
+  EXPECT_EQ(args.get_directory("spill-dir", ""), "");
+}
+
+TEST(CliArgs, GetDirectoryRejectsMissingPathAndFiles) {
+  const CliArgs args =
+      parse({"p", "--spill-dir", "/nonexistent/kibamrm-test-dir"});
+  EXPECT_THROW(args.get_directory("spill-dir", ""), InvalidArgument);
+  // A regular file is not a directory either.
+  const CliArgs file_args = parse({"p", "--spill-dir", "/proc/self/status"});
+  EXPECT_THROW(file_args.get_directory("spill-dir", ""), InvalidArgument);
+}
+
+TEST(CliArgs, GetDirectoryPresentWithoutValueThrows) {
+  const CliArgs args = parse({"p", "--spill-dir", "--full"});
+  EXPECT_THROW(args.get_directory("spill-dir", ""), InvalidArgument);
+}
+
 TEST(CliArgs, GetChoiceRejectsUnknownValueListingChoices) {
   const CliArgs args = parse({"p", "--engine", "krylov"});
   try {

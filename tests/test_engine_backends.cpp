@@ -48,16 +48,17 @@ TEST(EngineRegistry, BuiltinsRegistered) {
     EXPECT_TRUE(is_backend_name(name)) << name;
     EXPECT_NE(std::find(names.begin(), names.end(), name), names.end());
   }
-  EXPECT_FALSE(is_backend_name("sharded"));
+  EXPECT_TRUE(is_backend_name("sharded"));
+  EXPECT_FALSE(is_backend_name("gpu"));
 }
 
 TEST(EngineRegistry, UnknownNameThrowsListingChoices) {
   try {
-    make_backend("sharded");
+    make_backend("gpu");
     FAIL() << "expected InvalidArgument";
   } catch (const InvalidArgument& error) {
     const std::string what = error.what();
-    EXPECT_NE(what.find("sharded"), std::string::npos);
+    EXPECT_NE(what.find("gpu"), std::string::npos);
     EXPECT_NE(what.find("uniformization"), std::string::npos);
     EXPECT_NE(what.find("krylov"), std::string::npos);
   }
